@@ -1,0 +1,69 @@
+//! Criterion bench for the design-choice ablations DESIGN.md calls out:
+//! join-plan selection (§III-C), the tightened star-join threshold
+//! (§IV-B), the range-check pruning structures, and the compression
+//! codecs (§III-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtk_bench::{build_dblp, point_queries, Scale, LOW_FREQS};
+use xtk_core::joinbased::{join_search, JoinOptions, JoinPlan};
+use xtk_core::query::Query;
+use xtk_index::codec::{choose_scheme, decode_column, encode_column, Scheme};
+
+fn bench(c: &mut Criterion) {
+    let ix = build_dblp(Scale::Small);
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(20);
+
+    // Join plans.
+    let queries: Vec<Query> = point_queries(Scale::Small, 3, LOW_FREQS[1], 8)
+        .iter()
+        .map(|w| Query::from_words(&ix, w).unwrap())
+        .collect();
+    for (name, plan) in [
+        ("dynamic", JoinPlan::Dynamic),
+        ("merge_only", JoinPlan::MergeOnly),
+        ("index_only", JoinPlan::IndexOnly),
+    ] {
+        g.bench_with_input(BenchmarkId::new("join_plan", name), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(join_search(&ix, q, &JoinOptions { plan, ..Default::default() }));
+                }
+            })
+        });
+    }
+
+    // Compression codecs on the high-frequency term's columns.
+    let hf = ix.term_by_str(&xtk_bench::high_term(0)).unwrap();
+    for (li, col) in hf.columns.iter().enumerate() {
+        if col.runs.is_empty() {
+            continue;
+        }
+        let present: Vec<u32> = col.runs.iter().flat_map(|r| r.rows()).collect();
+        for scheme in [Scheme::Delta, Scheme::Rle] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("codec_encode_l{}", li + 1), format!("{scheme:?}")),
+                col,
+                |b, col| b.iter(|| black_box(encode_column(col, scheme))),
+            );
+            let cc = encode_column(col, scheme);
+            g.bench_with_input(
+                BenchmarkId::new(format!("codec_decode_l{}", li + 1), format!("{scheme:?}")),
+                &cc,
+                |b, cc| b.iter(|| black_box(decode_column(cc, &present))),
+            );
+        }
+        // And the adaptive choice.
+        g.bench_function(format!("codec_adaptive_l{}", li + 1), |b| {
+            b.iter(|| {
+                let s = choose_scheme(col);
+                black_box(encode_column(col, s))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

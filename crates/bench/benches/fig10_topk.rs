@@ -1,0 +1,69 @@
+//! Criterion bench behind **Fig. 10**: top-10 processing — the join-based
+//! top-K algorithm vs the complete join (+sort) vs RDIL, on random
+//! low-correlation queries (a) and planted correlated queries (b/c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtk_bench::{build_dblp, correlated_groups, point_queries, Scale, LOW_FREQS};
+use xtk_core::baseline::rdil::{rdil_search, RdilOptions};
+use xtk_core::joinbased::{join_search, JoinOptions};
+use xtk_core::query::{Query, Semantics};
+use xtk_core::result::sort_ranked;
+use xtk_core::topk::{topk_search, TopKOptions};
+
+const K: usize = 10;
+
+fn bench(c: &mut Criterion) {
+    let ix = build_dblp(Scale::Small);
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(20);
+
+    let mut workloads: Vec<(String, Vec<Query>)> = Vec::new();
+    for &low in &[LOW_FREQS[0], LOW_FREQS[3]] {
+        let qs: Vec<Query> = point_queries(Scale::Small, 2, low, 6)
+            .iter()
+            .map(|w| Query::from_words(&ix, w).unwrap())
+            .collect();
+        workloads.push((format!("random_low{low}"), qs));
+    }
+    let correlated: Vec<Query> = correlated_groups()
+        .iter()
+        .map(|(terms, _, _)| Query::from_words(&ix, terms).unwrap())
+        .collect();
+    workloads.push(("correlated".to_string(), correlated));
+
+    for (tag, qs) in &workloads {
+        g.bench_with_input(BenchmarkId::new("topk_join", tag), qs, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(topk_search(&ix, q, &TopKOptions { k: K, semantics: Semantics::Elca, ..Default::default() }));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("complete_join", tag), qs, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let (mut rs, _) = join_search(
+                        &ix,
+                        q,
+                        &JoinOptions { with_scores: true, ..Default::default() },
+                    );
+                    sort_ranked(&mut rs);
+                    rs.truncate(K);
+                    black_box(rs);
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rdil", tag), qs, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(rdil_search(&ix, q, &RdilOptions { k: K, semantics: Semantics::Elca }));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind **Table I**: building the physical indexes and
+//! computing their sizes on the two corpora (the size numbers themselves
+//! are printed by `experiments table1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtk_bench::{build_dblp, build_xmark, Scale};
+use xtk_index::sizes;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+
+    let dblp = build_dblp(Scale::Small);
+    let xmark = build_xmark(Scale::Small);
+
+    g.bench_function("index_build_dblp", |b| {
+        b.iter(|| black_box(build_dblp(Scale::Small)));
+    });
+    g.bench_function("index_build_xmark", |b| {
+        b.iter(|| black_box(build_xmark(Scale::Small)));
+    });
+    g.bench_function("size_accounting_dblp", |b| {
+        b.iter(|| black_box(sizes::compute(&dblp)));
+    });
+    g.bench_function("size_accounting_xmark", |b| {
+        b.iter(|| black_box(sizes::compute(&xmark)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

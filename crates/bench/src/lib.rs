@@ -1,0 +1,291 @@
+//! Shared experiment harness: corpus construction at two scales, the
+//! planted query workloads for every figure, and timing utilities.
+//!
+//! The paper's corpora are DBLP (496 MB) and XMark scale 1 (113 MB); the
+//! reproduction generates structurally faithful substitutes whose *control
+//! variables* — keyword frequency and keyword correlation — are planted
+//! exactly (see DESIGN.md).  Frequencies are scaled with the corpus: at
+//! [`Scale::Paper`] the high-frequency keyword covers ~10 % of the papers,
+//! the same coverage a 100 k-frequency word has in the real 1 M-paper
+//! DBLP.
+
+use std::time::{Duration, Instant};
+use xtk_datagen::dblp::{generate as gen_dblp, DblpConfig};
+use xtk_datagen::xmark::{generate as gen_xmark, XmarkConfig};
+use xtk_datagen::PlantedTerm;
+use xtk_index::XmlIndex;
+
+/// Corpus scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny corpus for unit tests and Criterion micro-runs (~2.5 k papers).
+    Small,
+    /// The experiment corpus (~250 k papers, frequencies up to 25 k).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `small` / `paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Frequency scaling: Small plants 1/10 of Paper's occurrences (with
+    /// a floor so the bands stay distinct).
+    pub fn freq(self, paper_freq: usize) -> usize {
+        match self {
+            Scale::Paper => paper_freq,
+            Scale::Small => (paper_freq / 10).max(5),
+        }
+    }
+}
+
+/// The low-frequency sweep of Fig. 9/10 (paper values; scaled via
+/// [`Scale::freq`]).
+pub const LOW_FREQS: [usize; 4] = [10, 100, 1_000, 10_000];
+
+/// The fixed high frequency (paper: 100 k over ~1 M papers; here 25 k over
+/// 250 k papers — the same 10 % coverage).
+pub const HIGH_FREQ: usize = 25_000;
+
+/// Planted terms per frequency band, so random queries vary.
+pub const TERMS_PER_BAND: usize = 8;
+
+/// Number of random queries per figure point (paper: 40).
+pub const QUERIES_PER_POINT: usize = 40;
+
+/// Repetitions per query (paper: 5, hot cache).
+pub const REPS: usize = 5;
+
+/// Name of the `i`-th planted term in the band with paper-frequency `f`.
+pub fn band_term(f: usize, i: usize) -> String {
+    format!("lf{f}x{i}")
+}
+
+/// Name of the `i`-th planted high-frequency term.
+pub fn high_term(i: usize) -> String {
+    format!("hfx{i}")
+}
+
+/// The planted correlated query groups of Fig. 10(b)/(c): 2-keyword and
+/// 3-keyword hand-picked queries à la `{sensor, network}` /
+/// `{xml, keyword, search}`.  `(terms, paper-frequencies, rho)`.
+pub fn correlated_groups() -> Vec<(Vec<&'static str>, Vec<usize>, f64)> {
+    vec![
+        (vec!["sensor", "network"], vec![2_000, 8_000], 0.7),
+        (vec!["stream", "window"], vec![1_000, 3_000], 0.8),
+        (vec!["cache", "memory"], vec![4_000, 9_000], 0.6),
+        (vec!["xml", "keyword", "search"], vec![10_000, 3_000, 8_000], 0.6),
+        (vec!["query", "plan", "optimizer"], vec![8_000, 4_000, 2_000], 0.7),
+        (vec!["graph", "pattern", "matching"], vec![6_000, 3_000, 2_500], 0.65),
+    ]
+}
+
+/// Builds the planted-term list for a scale.
+fn planted(scale: Scale) -> Vec<PlantedTerm> {
+    let mut out = Vec::new();
+    for i in 0..4 {
+        out.push(PlantedTerm::new(high_term(i), scale.freq(HIGH_FREQ)));
+    }
+    for &f in &LOW_FREQS {
+        for i in 0..TERMS_PER_BAND {
+            out.push(PlantedTerm::new(band_term(f, i), scale.freq(f)));
+        }
+    }
+    for (terms, freqs, rho) in correlated_groups() {
+        for (j, (&t, &f)) in terms.iter().zip(&freqs).enumerate() {
+            if j == 0 {
+                out.push(PlantedTerm::new(t, scale.freq(f)));
+            } else {
+                out.push(PlantedTerm::correlated(t, scale.freq(f), terms[0], rho));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the DBLP-like experiment corpus.
+pub fn build_dblp(scale: Scale) -> XmlIndex {
+    let cfg = match scale {
+        Scale::Paper => DblpConfig {
+            conferences: 500,
+            years_per_conf: 10,
+            papers_per_year: 50,
+            title_words: 6,
+            authors_per_paper: 1,
+            vocab_size: 30_000,
+            planted: planted(scale),
+            ..Default::default()
+        },
+        Scale::Small => DblpConfig {
+            conferences: 100,
+            years_per_conf: 5,
+            papers_per_year: 20,
+            title_words: 6,
+            authors_per_paper: 1,
+            vocab_size: 5_000,
+            planted: planted(scale),
+            ..Default::default()
+        },
+    };
+    XmlIndex::build(gen_dblp(&cfg).tree)
+}
+
+/// Builds the XMark-like experiment corpus.
+pub fn build_xmark(scale: Scale) -> XmlIndex {
+    let cfg = match scale {
+        Scale::Paper => XmarkConfig {
+            items_per_region: 25_000,
+            people: 30_000,
+            open_auctions: 15_000,
+            closed_auctions: 10_000,
+            description_words: 8,
+            vocab_size: 30_000,
+            planted: planted_xmark(scale),
+            ..Default::default()
+        },
+        Scale::Small => XmarkConfig {
+            items_per_region: 500,
+            people: 400,
+            open_auctions: 200,
+            closed_auctions: 150,
+            description_words: 8,
+            vocab_size: 5_000,
+            planted: planted_xmark(scale),
+            ..Default::default()
+        },
+    };
+    XmlIndex::build(gen_xmark(&cfg).tree)
+}
+
+/// XMark plants a reduced band set (its item population is smaller).
+fn planted_xmark(scale: Scale) -> Vec<PlantedTerm> {
+    let cap = match scale {
+        Scale::Paper => 100_000,
+        Scale::Small => 2_000,
+    };
+    let mut out = Vec::new();
+    for i in 0..2 {
+        out.push(PlantedTerm::new(high_term(i), scale.freq(HIGH_FREQ).min(cap / 4)));
+    }
+    for &f in &LOW_FREQS {
+        for i in 0..TERMS_PER_BAND.min(4) {
+            out.push(PlantedTerm::new(band_term(f, i), scale.freq(f).min(cap / 10)));
+        }
+    }
+    out
+}
+
+/// Median wall time of `reps` runs of `f` after one warm-up run
+/// (hot-cache methodology, as in the paper).
+pub fn time_median(reps: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let mut times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Formats a duration in the paper's style (ms with 2 decimals or s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms >= 1000.0 {
+        format!("{:.2}s", ms / 1e3)
+    } else {
+        format!("{ms:.2}ms")
+    }
+}
+
+/// A query workload for one figure point: `count` queries of `k` words —
+/// one high-frequency term + `k-1` distinct terms from the `low` band.
+pub fn point_queries(scale: Scale, k: usize, low: usize, count: usize) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for i in 0..count {
+        let mut q = vec![high_term(i % 4)];
+        for j in 0..k - 1 {
+            q.push(band_term(low, (i + j) % TERMS_PER_BAND));
+        }
+        let _ = scale;
+        out.push(q);
+    }
+    out
+}
+
+/// Equal-frequency workload for Fig. 9(e)/(f): all `k` keywords from the
+/// same band.
+pub fn equal_queries(k: usize, freq: usize, count: usize) -> Vec<Vec<String>> {
+    assert!(k <= TERMS_PER_BAND);
+    let mut out = Vec::new();
+    for i in 0..count {
+        let q: Vec<String> = (0..k).map(|j| band_term(freq, (i + j) % TERMS_PER_BAND)).collect();
+        let mut dedup = q.clone();
+        dedup.sort();
+        dedup.dedup();
+        if dedup.len() == k {
+            out.push(q);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtk_core::query::Query;
+
+    #[test]
+    fn small_corpus_has_planted_terms_at_expected_frequencies() {
+        let ix = build_dblp(Scale::Small);
+        let hf = ix.term_by_str(&high_term(0)).unwrap();
+        assert_eq!(hf.len(), Scale::Small.freq(HIGH_FREQ));
+        for &f in &LOW_FREQS {
+            let t = ix.term_by_str(&band_term(f, 0)).unwrap();
+            assert_eq!(t.len(), Scale::Small.freq(f), "band {f}");
+        }
+        // Correlated groups resolvable as queries.
+        for (terms, _, _) in correlated_groups() {
+            assert!(Query::from_words(&ix, &terms).is_ok(), "{terms:?}");
+        }
+    }
+
+    #[test]
+    fn workloads_resolve_against_small_corpus() {
+        let ix = build_dblp(Scale::Small);
+        for k in 2..=5 {
+            for &low in &LOW_FREQS {
+                for q in point_queries(Scale::Small, k, low, 6) {
+                    assert!(Query::from_words(&ix, &q).is_ok(), "{q:?}");
+                }
+            }
+        }
+        for q in equal_queries(3, 1000, 6) {
+            assert!(Query::from_words(&ix, &q).is_ok(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn xmark_corpus_builds() {
+        let ix = build_xmark(Scale::Small);
+        assert!(ix.vocab_size() > 100);
+        assert!(ix.term_by_str(&high_term(0)).is_some());
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let d = time_median(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(d < Duration::from_millis(50));
+        assert!(fmt_duration(Duration::from_micros(1500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

@@ -1,0 +1,18 @@
+//! The three baseline families the paper compares against (§II-C, §V):
+//!
+//! * [`stack`] — the stack-based Dewey Inverted List algorithm of XRank:
+//!   merge all lists in document order, maintain the current path on a
+//!   stack, decide ELCA/SLCA status on pop.
+//! * [`indexed`] — the index-based algorithms of Xu & Papakonstantinou:
+//!   scan the shortest list, binary-search the others for the closest
+//!   occurrences, generate LCA candidates, verify.  Includes the
+//!   Indexed-Lookup-Eager SLCA algorithm and the candidate+verify ELCA
+//!   algorithm.
+//! * [`rdil`] — XRank's Ranked Dewey Inverted List top-K algorithm:
+//!   consume lists in local-score order, look up the other lists to build
+//!   each popped node's lowest all-keyword ancestor, verify and score it,
+//!   emit above a TA-style threshold.
+
+pub mod indexed;
+pub mod rdil;
+pub mod stack;

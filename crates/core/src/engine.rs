@@ -1,0 +1,256 @@
+//! High-level façade: build an index once, run ranked keyword queries.
+
+use crate::baseline::indexed::{indexed_search, IndexedOptions};
+use crate::baseline::rdil::{rdil_search, RdilOptions};
+use crate::baseline::stack::{stack_search, StackOptions};
+use crate::hybrid::{hybrid_topk, PlannedEngine};
+use crate::joinbased::{join_search, JoinOptions, JoinStats};
+use crate::query::{Query, QueryError, Semantics};
+use crate::result::{sort_ranked, ScoredResult};
+use crate::topk::{topk_search, TopKOptions, TopKStats};
+use xtk_index::{IndexOptions, XmlIndex};
+use xtk_xml::{ParseError, XmlTree};
+
+/// Which algorithm family answers a complete-set query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's join-based Algorithm 1 (default).
+    JoinBased,
+    /// The stack-based DIL baseline.
+    StackBased,
+    /// The index-based baseline (formal ELCA variant).
+    IndexBased,
+}
+
+/// The entry point: an indexed XML document plus the query engines.
+///
+/// ```
+/// use xtk_core::{Engine, Semantics};
+///
+/// let engine = Engine::from_xml(
+///     "<bib><paper><title>xml keyword search</title></paper>\
+///      <paper><title>top k ranking</title><abs>keyword</abs></paper></bib>",
+/// ).unwrap();
+/// let q = engine.query("keyword ranking").unwrap();
+/// let hits = engine.top_k(&q, 3, Semantics::Elca);
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(engine.tree().label(hits[0].node), "paper");
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    ix: XmlIndex,
+}
+
+impl Engine {
+    /// Indexes a parsed tree with default options.
+    pub fn new(tree: XmlTree) -> Self {
+        Self { ix: XmlIndex::build(tree) }
+    }
+
+    /// Indexes with explicit options (damping λ, JDewey gap).
+    pub fn with_options(tree: XmlTree, opts: IndexOptions) -> Self {
+        Self { ix: XmlIndex::build_with(tree, opts) }
+    }
+
+    /// Parses and indexes an XML string.
+    pub fn from_xml(xml: &str) -> Result<Self, ParseError> {
+        Ok(Self::new(xtk_xml::parse(xml)?))
+    }
+
+    /// Wraps an already-built index.
+    pub fn from_index(ix: XmlIndex) -> Self {
+        Self { ix }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &XmlIndex {
+        &self.ix
+    }
+
+    /// The indexed tree.
+    pub fn tree(&self) -> &xtk_xml::XmlTree {
+        self.ix.tree()
+    }
+
+    /// Resolves query keywords against the vocabulary.
+    pub fn query(&self, text: &str) -> Result<Query, QueryError> {
+        Query::parse(&self.ix, text)
+    }
+
+    /// Complete result set, ranked by score (join-based engine).
+    pub fn search(&self, query: &Query, semantics: Semantics) -> Vec<ScoredResult> {
+        let (mut rs, _) = join_search(
+            &self.ix,
+            query,
+            &JoinOptions { semantics, with_scores: true, ..Default::default() },
+        );
+        sort_ranked(&mut rs);
+        rs
+    }
+
+    /// Complete result set without scores, by any engine — for comparisons
+    /// and benchmarks.  Results are in each engine's natural order.
+    pub fn search_unranked(
+        &self,
+        query: &Query,
+        semantics: Semantics,
+        algorithm: Algorithm,
+    ) -> Vec<ScoredResult> {
+        match algorithm {
+            Algorithm::JoinBased => {
+                join_search(&self.ix, query, &JoinOptions { semantics, ..Default::default() }).0
+            }
+            Algorithm::StackBased => {
+                stack_search(&self.ix, query, &StackOptions { semantics, ..Default::default() })
+            }
+            Algorithm::IndexBased => {
+                indexed_search(&self.ix, query, &IndexedOptions { semantics, with_scores: false })
+            }
+        }
+    }
+
+    /// Top-K via the join-based top-K star join (§IV).
+    pub fn top_k(&self, query: &Query, k: usize, semantics: Semantics) -> Vec<ScoredResult> {
+        topk_search(&self.ix, query, &TopKOptions { k, semantics, ..Default::default() }).0
+    }
+
+    /// Top-K via the §V-D hybrid planner; also reports the engine chosen.
+    pub fn top_k_auto(
+        &self,
+        query: &Query,
+        k: usize,
+        semantics: Semantics,
+    ) -> (Vec<ScoredResult>, PlannedEngine) {
+        hybrid_topk(&self.ix, query, k, semantics)
+    }
+
+    /// Top-K via the RDIL baseline (formal ELCA variant).
+    pub fn top_k_rdil(&self, query: &Query, k: usize, semantics: Semantics) -> Vec<ScoredResult> {
+        rdil_search(&self.ix, query, &RdilOptions { k, semantics }).0
+    }
+
+    /// Join-based run returning the execution counters, for tooling.
+    pub fn search_with_stats(
+        &self,
+        query: &Query,
+        opts: &JoinOptions,
+    ) -> (Vec<ScoredResult>, JoinStats) {
+        join_search(&self.ix, query, opts)
+    }
+
+    /// EXPLAIN: executes the query while recording the per-level join
+    /// plan the dynamic optimizer chose (§III-C).
+    pub fn explain(&self, query: &Query, opts: &JoinOptions) -> crate::explain::PlanReport {
+        crate::explain::explain(&self.ix, query, opts)
+    }
+
+    /// Top-K run returning the execution counters, for tooling.
+    pub fn top_k_with_stats(
+        &self,
+        query: &Query,
+        opts: &TopKOptions,
+    ) -> (Vec<ScoredResult>, TopKStats) {
+        topk_search(&self.ix, query, opts)
+    }
+
+    /// Human-readable description of a result: path, level, score and a
+    /// snippet of the subtree's text.
+    pub fn describe(&self, r: &ScoredResult) -> String {
+        let tree = self.tree();
+        let mut snippet = String::new();
+        for n in tree.descendants_or_self(r.node) {
+            let t = tree.text(n);
+            if !t.is_empty() {
+                if !snippet.is_empty() {
+                    snippet.push(' ');
+                }
+                snippet.push_str(t);
+                if snippet.len() > 80 {
+                    snippet.truncate(80);
+                    snippet.push('…');
+                    break;
+                }
+            }
+        }
+        format!(
+            "{} (level {}, score {:.4}): {}",
+            tree.path_string(r.node),
+            r.level,
+            r.score,
+            snippet
+        )
+    }
+}
+
+/// Re-exported variant list so callers can iterate the engines.
+pub const ALL_ALGORITHMS: [Algorithm; 3] =
+    [Algorithm::JoinBased, Algorithm::StackBased, Algorithm::IndexBased];
+
+/// Re-export for callers matching on the hybrid's choice.
+pub use crate::hybrid::PlannedEngine as HybridChoice;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "<bib><conf><paper><title>xml keyword search</title>\
+                       <author>ann</author></paper><paper><title>relational top k join</title>\
+                       <author>bob</author></paper></conf>\
+                       <conf><paper><title>xml top k</title></paper></conf></bib>";
+
+    #[test]
+    fn end_to_end_search() {
+        let e = Engine::from_xml(DOC).unwrap();
+        let q = e.query("xml keyword").unwrap();
+        let rs = e.search(&q, Semantics::Elca);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(e.tree().label(rs[0].node), "title");
+        let desc = e.describe(&rs[0]);
+        assert!(desc.contains("/bib/conf/paper/title"), "{desc}");
+        assert!(desc.contains("xml keyword search"), "{desc}");
+    }
+
+    #[test]
+    fn all_complete_engines_agree_on_slca() {
+        let e = Engine::from_xml(DOC).unwrap();
+        let q = e.query("xml top").unwrap();
+        let mut sets: Vec<Vec<_>> = ALL_ALGORITHMS
+            .iter()
+            .map(|&a| {
+                let mut v: Vec<_> = e
+                    .search_unranked(&q, Semantics::Slca, a)
+                    .into_iter()
+                    .map(|r| r.node)
+                    .collect();
+                v.sort();
+                v
+            })
+            .collect();
+        let first = sets.remove(0);
+        for s in sets {
+            assert_eq!(s, first);
+        }
+        assert!(!first.is_empty());
+    }
+
+    #[test]
+    fn topk_variants_run() {
+        let e = Engine::from_xml(DOC).unwrap();
+        let q = e.query("top k").unwrap();
+        let a = e.top_k(&q, 2, Semantics::Elca);
+        let (b, _) = e.top_k_auto(&q, 2, Semantics::Elca);
+        let c = e.top_k_rdil(&q, 2, Semantics::Elca);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(c.len(), 2);
+        // Same top score across engines (node ties may differ).
+        assert!((a[0].score - b[0].score).abs() < 1e-4);
+        assert!((a[0].score - c[0].score).abs() < 1e-4);
+    }
+
+    #[test]
+    fn unknown_word_is_reported() {
+        let e = Engine::from_xml(DOC).unwrap();
+        assert!(e.query("xml zzzznope").is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Erased-row tracking — the semantic-pruning state of Algorithm 1.
+//!
+//! When a match at a lower level consumes JDewey sequences, their rows are
+//! *erased* from the inverted list for all higher levels (`H_1`, `H_2` in
+//! the paper's pseudo-code).  With the run representation, erasure always
+//! covers whole row ranges, so the paper's range checking (§III-E) becomes
+//! interval arithmetic: an ELCA survives if its run has more rows than the
+//! erased rows inside it; an SLCA dies if *any* erased row falls inside.
+//!
+//! [`Eraser`] is a sorted, coalescing interval set over `u32` rows with
+//! `O(log n + hits)` range queries.
+
+/// A set of erased row intervals for one keyword list.
+#[derive(Debug, Clone, Default)]
+pub struct Eraser {
+    /// Disjoint, sorted, non-adjacent `[start, end)` intervals.
+    ivs: Vec<(u32, u32)>,
+}
+
+impl Eraser {
+    /// An empty eraser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes all erasures (reuse across queries without reallocating).
+    pub fn clear(&mut self) {
+        self.ivs.clear();
+    }
+
+    /// Number of disjoint intervals currently stored.
+    pub fn interval_count(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Total number of erased rows.
+    pub fn erased_total(&self) -> u64 {
+        self.ivs.iter().map(|&(s, e)| (e - s) as u64).sum()
+    }
+
+    /// Erases `[start, end)`, coalescing with overlapping/adjacent
+    /// intervals.
+    pub fn erase(&mut self, start: u32, end: u32) {
+        if start >= end {
+            return;
+        }
+        // First interval that could overlap or touch [start, end).
+        let lo = self.ivs.partition_point(|&(_, e)| e < start);
+        let mut hi = lo;
+        let mut new_start = start;
+        let mut new_end = end;
+        while hi < self.ivs.len() && self.ivs[hi].0 <= end {
+            new_start = new_start.min(self.ivs[hi].0);
+            new_end = new_end.max(self.ivs[hi].1);
+            hi += 1;
+        }
+        self.ivs.splice(lo..hi, std::iter::once((new_start, new_end)));
+    }
+
+    /// `true` iff `row` is erased.
+    pub fn is_erased(&self, row: u32) -> bool {
+        let i = self.ivs.partition_point(|&(_, e)| e <= row);
+        self.ivs.get(i).is_some_and(|&(s, _)| s <= row)
+    }
+
+    /// Number of erased rows in `[start, end)`.
+    pub fn count_in(&self, start: u32, end: u32) -> u32 {
+        if start >= end {
+            return 0;
+        }
+        let mut i = self.ivs.partition_point(|&(_, e)| e <= start);
+        let mut total = 0u32;
+        while i < self.ivs.len() && self.ivs[i].0 < end {
+            let (s, e) = self.ivs[i];
+            total += e.min(end) - s.max(start);
+            i += 1;
+        }
+        total
+    }
+
+    /// `true` iff any erased row lies in `[start, end)` — the SLCA range
+    /// check, cheaper than counting.
+    pub fn any_in(&self, start: u32, end: u32) -> bool {
+        if start >= end {
+            return false;
+        }
+        let i = self.ivs.partition_point(|&(_, e)| e <= start);
+        self.ivs.get(i).is_some_and(|&(s, _)| s < end)
+    }
+
+    /// The first non-erased row `>= row`, for cursor skipping.
+    pub fn next_clear(&self, row: u32) -> u32 {
+        let i = self.ivs.partition_point(|&(_, e)| e <= row);
+        match self.ivs.get(i) {
+            Some(&(s, e)) if s <= row => e,
+            _ => row,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erase_and_query() {
+        let mut e = Eraser::new();
+        e.erase(5, 10);
+        assert!(e.is_erased(5));
+        assert!(e.is_erased(9));
+        assert!(!e.is_erased(10));
+        assert!(!e.is_erased(4));
+        assert_eq!(e.count_in(0, 20), 5);
+        assert_eq!(e.count_in(7, 9), 2);
+        assert_eq!(e.count_in(10, 20), 0);
+        assert!(e.any_in(9, 30));
+        assert!(!e.any_in(10, 30));
+    }
+
+    #[test]
+    fn coalescing() {
+        let mut e = Eraser::new();
+        e.erase(0, 5);
+        e.erase(10, 15);
+        assert_eq!(e.interval_count(), 2);
+        e.erase(5, 10); // adjacent to both: single interval
+        assert_eq!(e.interval_count(), 1);
+        assert_eq!(e.erased_total(), 15);
+        e.erase(3, 8); // fully inside: no change
+        assert_eq!(e.interval_count(), 1);
+        assert_eq!(e.erased_total(), 15);
+    }
+
+    #[test]
+    fn overlapping_merge_spanning_many() {
+        let mut e = Eraser::new();
+        for i in 0..5 {
+            e.erase(i * 10, i * 10 + 3);
+        }
+        assert_eq!(e.interval_count(), 5);
+        e.erase(2, 45);
+        assert_eq!(e.interval_count(), 1);
+        assert_eq!(e.erased_total(), 45); // [0, 45)
+    }
+
+    #[test]
+    fn empty_range_noops() {
+        let mut e = Eraser::new();
+        e.erase(5, 5);
+        assert_eq!(e.interval_count(), 0);
+        assert_eq!(e.count_in(9, 3), 0);
+        assert!(!e.any_in(7, 7));
+    }
+
+    #[test]
+    fn next_clear_skips_erased_spans() {
+        let mut e = Eraser::new();
+        e.erase(5, 10);
+        e.erase(10, 12); // coalesces to [5, 12)
+        assert_eq!(e.next_clear(3), 3);
+        assert_eq!(e.next_clear(5), 12);
+        assert_eq!(e.next_clear(11), 12);
+        assert_eq!(e.next_clear(12), 12);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut e = Eraser::new();
+        e.erase(0, 100);
+        e.clear();
+        assert_eq!(e.erased_total(), 0);
+        assert!(!e.is_erased(50));
+    }
+
+    #[test]
+    fn randomized_against_bitmap() {
+        // Deterministic pseudo-random mixed workload cross-checked against
+        // a naive bitmap.
+        let mut e = Eraser::new();
+        let mut bitmap = vec![false; 1000];
+        let mut state = 0x12345678u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..300 {
+            let a = rng() % 1000;
+            let b = (a + rng() % 50).min(1000);
+            e.erase(a, b);
+            for x in a..b {
+                bitmap[x as usize] = true;
+            }
+            // Spot-check queries.
+            let qa = rng() % 1000;
+            let qb = (qa + rng() % 100).min(1000);
+            let expect = bitmap[qa as usize..qb as usize].iter().filter(|&&b| b).count() as u32;
+            assert_eq!(e.count_in(qa, qb), expect);
+            assert_eq!(e.any_in(qa, qb), expect > 0);
+            assert_eq!(e.is_erased(qa), bitmap[qa as usize]);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! EXPLAIN for the join-based plan (§III-C made inspectable).
+//!
+//! The paper's pitch is that XML keyword search becomes "more tractable in
+//! real systems" once it is relational joins — and real systems come with
+//! `EXPLAIN`.  This module renders, per level, the column sizes, the
+//! left-deep keyword order, each join step's algorithm choice with the
+//! intermediate cardinality that drove it, and the matches/results after
+//! the semantic pruning.
+//!
+//! The report executes the query for real (the dynamic optimization's
+//! choices depend on actual intermediate sizes), so the counters are the
+//! true ones, not estimates.
+
+use crate::eraser::Eraser;
+use crate::joinbased::{apply_match, JoinOptions, JoinPlan};
+use crate::query::Query;
+use crate::result::ScoredResult;
+use std::fmt;
+use xtk_index::columnar::{Column, Run};
+use xtk_index::{TermData, XmlIndex};
+
+/// One join step inside a level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinStep {
+    /// The keyword (term text) joined in.
+    pub term: String,
+    /// Runs in that keyword's column at this level.
+    pub column_runs: usize,
+    /// Intermediate cardinality entering the step.
+    pub input_values: usize,
+    /// `true` = index join, `false` = merge join.
+    pub index_join: bool,
+    /// Cardinality after the step.
+    pub output_values: usize,
+}
+
+/// The plan and execution record of one level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelPlan {
+    /// The level (tree depth; root = 1).
+    pub level: u16,
+    /// The driving keyword (smallest column) and its run count.
+    pub driver: (String, usize),
+    /// Subsequent join steps in left-deep order.
+    pub steps: Vec<JoinStep>,
+    /// Values matched in all columns at this level.
+    pub matches: usize,
+    /// Results surviving the semantic pruning.
+    pub results: usize,
+}
+
+/// A full query plan report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanReport {
+    /// Keywords in query order with their posting-list lengths.
+    pub keywords: Vec<(String, usize)>,
+    /// Starting level `l_0 = min_i l_m^i`.
+    pub start_level: u16,
+    /// Per-level plans, bottom-up.
+    pub levels: Vec<LevelPlan>,
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "keywords:")?;
+        for (t, n) in &self.keywords {
+            write!(f, " {t}(|L|={n})")?;
+        }
+        writeln!(f, "\nstart level: {}", self.start_level)?;
+        for lp in &self.levels {
+            writeln!(
+                f,
+                "level {}: drive {} ({} runs)",
+                lp.level, lp.driver.0, lp.driver.1
+            )?;
+            for s in &lp.steps {
+                writeln!(
+                    f,
+                    "  {} {} ({} runs): {} -> {} values",
+                    if s.index_join { "index-join" } else { "merge-join" },
+                    s.term,
+                    s.column_runs,
+                    s.input_values,
+                    s.output_values
+                )?;
+            }
+            writeln!(f, "  matched {} -> emitted {}", lp.matches, lp.results)?;
+        }
+        Ok(())
+    }
+}
+
+/// Executes the query while recording the plan (see module docs).
+pub fn explain(ix: &XmlIndex, query: &Query, opts: &JoinOptions) -> PlanReport {
+    let terms: Vec<&TermData> = query.terms.iter().map(|&t| ix.term(t)).collect();
+    let k = terms.len();
+    let keywords: Vec<(String, usize)> =
+        terms.iter().map(|t| (t.term.to_string(), t.len())).collect();
+    if terms.iter().any(|t| t.is_empty()) {
+        return PlanReport { keywords, start_level: 0, levels: Vec::new() };
+    }
+    let l0 = terms.iter().map(|t| t.max_len()).min().expect("k >= 1");
+    let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
+    let mut results: Vec<ScoredResult> = Vec::new();
+    let mut levels = Vec::new();
+
+    for l in (1..=l0).rev() {
+        let cols: Vec<&Column> = terms.iter().map(|t| &t.columns[l as usize - 1]).collect();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by_key(|&i| cols[i].runs.len());
+        let driver = (terms[order[0]].term.to_string(), cols[order[0]].runs.len());
+
+        let mut values: Vec<u32> = cols[order[0]].runs.iter().map(|r| r.value).collect();
+        let mut steps = Vec::new();
+        for &i in &order[1..] {
+            let col = cols[i];
+            let input_values = values.len();
+            let use_index = match opts.plan {
+                JoinPlan::MergeOnly => false,
+                JoinPlan::IndexOnly => true,
+                JoinPlan::Dynamic => {
+                    let probes =
+                        values.len() as u64 * (col.runs.len().max(2).ilog2() as u64 + 1);
+                    probes * 4 < (values.len() + col.runs.len()) as u64
+                }
+            };
+            if use_index {
+                values.retain(|&v| col.find(v).is_some());
+            } else {
+                let mut out = Vec::new();
+                let mut j = 0;
+                for &v in &values {
+                    while j < col.runs.len() && col.runs[j].value < v {
+                        j += 1;
+                    }
+                    if j == col.runs.len() {
+                        break;
+                    }
+                    if col.runs[j].value == v {
+                        out.push(v);
+                    }
+                }
+                values = out;
+            }
+            steps.push(JoinStep {
+                term: terms[i].term.to_string(),
+                column_runs: col.runs.len(),
+                input_values,
+                index_join: use_index,
+                output_values: values.len(),
+            });
+        }
+
+        let matches = values.len();
+        let before = results.len();
+        for v in values {
+            let runs: Vec<Run> = cols
+                .iter()
+                .map(|c| *c.find(v).expect("joined value present in every column"))
+                .collect();
+            apply_match(ix, &terms, &mut erasers, &runs, l, v, opts, &mut results);
+        }
+        levels.push(LevelPlan {
+            level: l,
+            driver,
+            steps,
+            matches,
+            results: results.len() - before,
+        });
+    }
+    PlanReport { keywords, start_level: l0, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joinbased::join_search;
+    use xtk_xml::parse;
+
+    fn setup() -> (XmlIndex, Query) {
+        let mut xml = String::from("<r>");
+        for i in 0..80 {
+            xml.push_str(&format!("<conf><p>frequent w{}</p></conf>", i % 9));
+        }
+        xml.push_str("<conf><p>frequent scarce</p></conf></r>");
+        let ix = XmlIndex::build(parse(&xml).unwrap());
+        let q = Query::from_words(&ix, &["frequent", "scarce"]).unwrap();
+        (ix, q)
+    }
+
+    #[test]
+    fn explain_matches_execution_counts() {
+        let (ix, q) = setup();
+        let opts = JoinOptions::default();
+        let report = explain(&ix, &q, &opts);
+        let (rs, stats) = join_search(&ix, &q, &opts);
+        let total_matches: usize = report.levels.iter().map(|l| l.matches).sum();
+        let total_results: usize = report.levels.iter().map(|l| l.results).sum();
+        assert_eq!(total_matches as u64, stats.matches);
+        assert_eq!(total_results, rs.len());
+        assert_eq!(report.start_level, 3);
+        assert_eq!(report.levels.len(), 3);
+    }
+
+    #[test]
+    fn driver_is_smallest_column() {
+        let (ix, q) = setup();
+        let report = explain(&ix, &q, &JoinOptions::default());
+        for lp in &report.levels {
+            // Root level: both columns collapse to one run — tie allowed.
+            if lp.driver.1 > 1 || lp.level > 1 {
+                assert_eq!(lp.driver.0, "scarce", "level {}", lp.level);
+            }
+            for s in &lp.steps {
+                assert!(s.column_runs >= lp.driver.1);
+                assert!(s.output_values <= s.input_values);
+            }
+        }
+    }
+
+    #[test]
+    fn selective_levels_use_index_join() {
+        let (ix, q) = setup();
+        let report = explain(&ix, &q, &JoinOptions::default());
+        // At the leaf-most level the driver has 1 run vs 81: index join.
+        let leaf = &report.levels[0];
+        assert!(leaf.steps[0].index_join, "{report}");
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let (ix, q) = setup();
+        let text = explain(&ix, &q, &JoinOptions::default()).to_string();
+        assert!(text.contains("start level: 3"));
+        assert!(text.contains("drive scarce"));
+        assert!(text.contains("-join"));
+        assert!(text.contains("matched"));
+    }
+
+    #[test]
+    fn empty_term_yields_empty_plan() {
+        let ix = XmlIndex::build(parse("<r>solo</r>").unwrap());
+        let q = Query::from_words(&ix, &["solo"]).unwrap();
+        let report = explain(&ix, &q, &JoinOptions::default());
+        assert_eq!(report.levels.len(), 1);
+    }
+}

@@ -1,0 +1,397 @@
+//! The join-based algorithm (paper §III, Algorithm 1).
+//!
+//! Keyword query evaluation is reduced to relational joins over the JDewey
+//! columns: for each level `l` from `min_i l_m^i` down to the root, the `k`
+//! per-keyword columns are equality-joined on the JDewey number.  A number
+//! matched in all `k` columns identifies an LCA at level `l`; because
+//! processing is bottom-up, the semantic pruning is a *local* range check
+//! (§III-E) against the rows erased by lower matches — no document-order
+//! scan, no stack.
+//!
+//! Join plan (§III-C): per level, keywords are ordered shortest column
+//! first (left-deep); each subsequent join picks **merge** or **index**
+//! dynamically from the actual intermediate size, which is the paper's
+//! "context-aware" optimization — the same query can use the index join at
+//! the paper level and the merge join at the conference level.
+//!
+//! The runs of a column are exactly the compressed `(v, r, c)` triples, so
+//! duplicate numbers cost one probe ("the second compression scheme groups
+//! the same value in indexing time and saves the online computation",
+//! §III-D).
+
+use crate::eraser::Eraser;
+use crate::query::{ElcaVariant, Query, Semantics};
+use crate::result::ScoredResult;
+use xtk_index::columnar::{Column, Run};
+use xtk_index::{TermData, XmlIndex};
+
+/// Join-plan selection for the per-level joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinPlan {
+    /// Choose merge vs index per join from intermediate cardinalities
+    /// (the paper's dynamic optimization).  Default.
+    #[default]
+    Dynamic,
+    /// Force the merge join everywhere.
+    MergeOnly,
+    /// Force the index join everywhere.
+    IndexOnly,
+}
+
+/// Options for [`join_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct JoinOptions {
+    /// ELCA or SLCA.
+    pub semantics: Semantics,
+    /// ELCA exclusion variant (ignored for SLCA).
+    pub variant: ElcaVariant,
+    /// Join plan selection.
+    pub plan: JoinPlan,
+    /// Compute ranking scores for each result (costs one pass over the
+    /// matched runs' rows; leave off for pure semantic evaluation).
+    pub with_scores: bool,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        Self {
+            semantics: Semantics::Elca,
+            variant: ElcaVariant::Operational,
+            plan: JoinPlan::Dynamic,
+            with_scores: false,
+        }
+    }
+}
+
+/// Execution counters, for tests, ablations and the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Levels (columns) processed.
+    pub levels: u32,
+    /// Merge joins performed across all levels.
+    pub merge_joins: u32,
+    /// Index joins performed across all levels.
+    pub index_joins: u32,
+    /// Values matched in all `k` columns (LCA candidates hit).
+    pub matches: u64,
+    /// Results emitted.
+    pub results: u64,
+}
+
+/// Runs Algorithm 1 and returns results in emission order: level
+/// descending (bottom-up), JDewey number ascending within a level.
+pub fn join_search(
+    ix: &XmlIndex,
+    query: &Query,
+    opts: &JoinOptions,
+) -> (Vec<ScoredResult>, JoinStats) {
+    let mut stats = JoinStats::default();
+    let terms: Vec<&TermData> = query.terms.iter().map(|&t| ix.term(t)).collect();
+    let k = terms.len();
+    assert!(k >= 1, "query must have at least one keyword");
+    if terms.iter().any(|t| t.is_empty()) {
+        return (Vec::new(), stats);
+    }
+    // No result can sit below the shallowest list's deepest level.
+    let l0 = terms.iter().map(|t| t.max_len()).min().expect("k >= 1");
+    let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
+    let mut results = Vec::new();
+
+    for l in (1..=l0).rev() {
+        stats.levels += 1;
+        let cols: Vec<&Column> = terms.iter().map(|t| &t.columns[l as usize - 1]).collect();
+        let values = joined_values(&cols, opts.plan, &mut stats);
+        for v in values {
+            stats.matches += 1;
+            // Per-keyword run for this value; present in all k by
+            // construction of the join.
+            let runs: Vec<Run> = cols
+                .iter()
+                .map(|c| *c.find(v).expect("joined value present in every column"))
+                .collect();
+            if apply_match(ix, &terms, &mut erasers, &runs, l, v, opts, &mut results) {
+                stats.results += 1;
+            }
+        }
+    }
+    (results, stats)
+}
+
+/// The per-match semantic pruning + emission of Algorithm 1, shared with
+/// the disk-resident executor: decides ELCA/SLCA status from the range
+/// checks, optionally scores, appends to `results`, applies the erasure.
+/// Returns whether a result was emitted.
+pub(crate) fn apply_match(
+    ix: &XmlIndex,
+    terms: &[&TermData],
+    erasers: &mut [Eraser],
+    runs: &[Run],
+    level: u16,
+    value: u32,
+    opts: &JoinOptions,
+    results: &mut Vec<ScoredResult>,
+) -> bool {
+    let (emit, erase) = match opts.semantics {
+        Semantics::Slca => {
+            // SLCA range check (§III-F): any erased row under this node
+            // means a descendant match exists.
+            let clean = runs
+                .iter()
+                .zip(erasers.iter())
+                .all(|(r, e)| !e.any_in(r.start, r.end()));
+            (clean, true)
+        }
+        Semantics::Elca => {
+            // ELCA range check (§III-E): survive iff at least one
+            // non-erased occurrence per keyword.
+            let alive = runs
+                .iter()
+                .zip(erasers.iter())
+                .all(|(r, e)| e.count_in(r.start, r.end()) < r.len);
+            let erase = match opts.variant {
+                ElcaVariant::Formal => true,
+                ElcaVariant::Operational => alive,
+            };
+            (alive, erase)
+        }
+    };
+    if emit {
+        let node = ix.node_at(level, value).expect("matched value identifies a node");
+        let score = if opts.with_scores {
+            score_of(ix, terms, erasers, runs, level)
+        } else {
+            0.0
+        };
+        results.push(ScoredResult { node, level, score });
+    }
+    if erase {
+        for (r, e) in runs.iter().zip(erasers.iter_mut()) {
+            e.erase(r.start, r.end());
+        }
+    }
+    emit
+}
+
+/// Intersects the `k` columns on JDewey number, returning matched values in
+/// increasing order.  Left-deep from the smallest column; each step picks
+/// merge or index join per `plan`.
+fn joined_values(cols: &[&Column], plan: JoinPlan, stats: &mut JoinStats) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..cols.len()).collect();
+    order.sort_by_key(|&i| cols[i].runs.len());
+
+    let first = cols[order[0]];
+    let mut values: Vec<u32> = first.runs.iter().map(|r| r.value).collect();
+    for &i in &order[1..] {
+        if values.is_empty() {
+            break;
+        }
+        let col = cols[i];
+        let use_index = match plan {
+            JoinPlan::MergeOnly => false,
+            JoinPlan::IndexOnly => true,
+            JoinPlan::Dynamic => {
+                // Index join costs |values| * log |runs| probes; merge join
+                // walks both inputs.  The crossover with the constant-factor
+                // gap between a probe and a scan step is roughly here:
+                let probes = values.len() as u64 * (col.runs.len().max(2).ilog2() as u64 + 1);
+                probes * 4 < (values.len() + col.runs.len()) as u64
+            }
+        };
+        if use_index {
+            stats.index_joins += 1;
+            values.retain(|&v| col.find(v).is_some());
+        } else {
+            stats.merge_joins += 1;
+            values = merge_intersect(&values, col);
+        }
+    }
+    values
+}
+
+/// Two-pointer intersection of a sorted value list with a column.
+fn merge_intersect(values: &[u32], col: &Column) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    let runs = &col.runs;
+    for &v in values {
+        while j < runs.len() && runs[j].value < v {
+            j += 1;
+        }
+        if j == runs.len() {
+            break;
+        }
+        if runs[j].value == v {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Ranking score of an emitted result: per keyword (in query order), the
+/// maximum damped score over the *non-erased* rows of its run — exactly
+/// the occurrences that belong to this result rather than to a lower one.
+fn score_of(
+    ix: &XmlIndex,
+    terms: &[&TermData],
+    erasers: &[Eraser],
+    runs: &[Run],
+    level: u16,
+) -> f32 {
+    let damping = ix.damping();
+    let mut total = 0.0f32;
+    for ((term, eraser), run) in terms.iter().zip(erasers).zip(runs) {
+        let mut best = 0.0f32;
+        let mut row = run.start;
+        while row < run.end() {
+            if eraser.is_erased(row) {
+                row = eraser.next_clear(row).min(run.end());
+                continue;
+            }
+            let depth = ix.tree().depth(term.postings[row as usize]);
+            let damped = damping.damp(term.scores[row as usize], depth, level);
+            if damped > best {
+                best = damped;
+            }
+            row += 1;
+        }
+        debug_assert!(best > 0.0, "emitted results have a live occurrence per keyword");
+        total += best;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::{naive_elca, naive_slca};
+    use xtk_xml::parse;
+    use xtk_xml::tree::NodeId;
+
+    fn run(
+        xml: &str,
+        words: &[&str],
+        semantics: Semantics,
+        variant: ElcaVariant,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        let ix = XmlIndex::build(parse(xml).unwrap());
+        let q = Query::from_words(&ix, words).unwrap();
+        let opts = JoinOptions { semantics, variant, ..Default::default() };
+        let (mut rs, _) = join_search(&ix, &q, &opts);
+        rs.sort_by_key(|r| r.node);
+        let got: Vec<NodeId> = rs.iter().map(|r| r.node).collect();
+        let lists: Vec<&[NodeId]> =
+            q.terms.iter().map(|&t| ix.term(t).postings.as_slice()).collect();
+        let want = match semantics {
+            Semantics::Elca => naive_elca(ix.tree(), &lists, variant),
+            Semantics::Slca => naive_slca(ix.tree(), &lists),
+        };
+        (got, want)
+    }
+
+    #[test]
+    fn elca_matches_naive_on_fig1_style_doc() {
+        let xml = "<root><paper><sec>xml</sec><body><t1>xml</t1><t2>data</t2></body></paper>\
+                   <paper><t>data</t></paper></root>";
+        for v in [ElcaVariant::Operational, ElcaVariant::Formal] {
+            let (got, want) = run(xml, &["xml", "data"], Semantics::Elca, v);
+            assert_eq!(got, want, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn slca_matches_naive() {
+        let xml = "<r><a><x>p q</x></a><b><y>p</y><z>q</z></b>p q</r>";
+        let (got, want) = run(xml, &["p", "q"], Semantics::Slca, ElcaVariant::Operational);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn variants_disagree_exactly_where_expected() {
+        // The counterexample from the semantics tests: raw-full non-ELCA
+        // descendant w.
+        let xml = "<u><w><aa>a b</aa><x1>a</x1></w><c>b</c></u>";
+        let (got_op, want_op) =
+            run(xml, &["a", "b"], Semantics::Elca, ElcaVariant::Operational);
+        assert_eq!(got_op, want_op);
+        assert_eq!(got_op.len(), 2, "operational keeps the root");
+        let (got_fo, want_fo) = run(xml, &["a", "b"], Semantics::Elca, ElcaVariant::Formal);
+        assert_eq!(got_fo, want_fo);
+        assert_eq!(got_fo.len(), 1, "formal prunes the root");
+    }
+
+    #[test]
+    fn three_keywords() {
+        let xml = "<r><p>a b c</p><q><s>a</s><t>b</t><u>c</u></q><v>a c</v></r>";
+        for sem in [Semantics::Elca, Semantics::Slca] {
+            let (got, want) = run(xml, &["a", "b", "c"], sem, ElcaVariant::Operational);
+            assert_eq!(got, want, "{sem:?}");
+        }
+    }
+
+    #[test]
+    fn missing_keyword_gives_empty() {
+        let ix = XmlIndex::build(parse("<r><a>x y</a></r>").unwrap());
+        let q = Query::from_words(&ix, &["x", "y"]).unwrap();
+        // Both present: fine. Now a query over one term only:
+        let q1 = Query::from_words(&ix, &["x"]).unwrap();
+        let (rs, _) = join_search(&ix, &q1, &JoinOptions::default());
+        assert_eq!(rs.len(), 1);
+        let (rs, _) = join_search(&ix, &q, &JoinOptions::default());
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn emission_order_is_bottom_up() {
+        let xml = "<r>a b<x>a b</x></r>";
+        let ix = XmlIndex::build(parse(xml).unwrap());
+        let q = Query::from_words(&ix, &["a", "b"]).unwrap();
+        let (rs, _) = join_search(&ix, &q, &JoinOptions::default());
+        assert_eq!(rs.len(), 2);
+        assert!(rs[0].level > rs[1].level, "deeper results first");
+    }
+
+    #[test]
+    fn plans_agree() {
+        let xml = "<r><c1><y1><p>top k</p><p>top</p></y1></c1><c2><y2><p>k</p><p>top k</p></y2></c2></r>";
+        let ix = XmlIndex::build(parse(xml).unwrap());
+        let q = Query::from_words(&ix, &["top", "k"]).unwrap();
+        let mut outs = Vec::new();
+        for plan in [JoinPlan::Dynamic, JoinPlan::MergeOnly, JoinPlan::IndexOnly] {
+            let opts = JoinOptions { plan, ..Default::default() };
+            let (mut rs, stats) = join_search(&ix, &q, &opts);
+            rs.sort_by_key(|r| r.node);
+            match plan {
+                JoinPlan::MergeOnly => assert_eq!(stats.index_joins, 0),
+                JoinPlan::IndexOnly => assert_eq!(stats.merge_joins, 0),
+                JoinPlan::Dynamic => {}
+            }
+            outs.push(rs.iter().map(|r| r.node).collect::<Vec<_>>());
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[1], outs[2]);
+    }
+
+    #[test]
+    fn scores_are_positive_and_damped() {
+        // Result at the root (level 1) with occurrences at level 2:
+        // score < 2.0 because of damping, > 0.
+        let ix = XmlIndex::build(parse("<r><a>p</a><b>q</b></r>").unwrap());
+        let q = Query::from_words(&ix, &["p", "q"]).unwrap();
+        let opts = JoinOptions { with_scores: true, ..Default::default() };
+        let (rs, _) = join_search(&ix, &q, &opts);
+        assert_eq!(rs.len(), 1);
+        assert!(rs[0].score > 0.0);
+        let lambda = ix.damping().lambda();
+        assert!(rs[0].score <= 2.0 * lambda + 1e-6, "both occurrences damped once");
+    }
+
+    #[test]
+    fn stats_count_levels_and_matches() {
+        let ix = XmlIndex::build(parse("<r><a>p q</a></r>").unwrap());
+        let q = Query::from_words(&ix, &["p", "q"]).unwrap();
+        let (_, stats) = join_search(&ix, &q, &JoinOptions::default());
+        assert_eq!(stats.levels, 2);
+        assert_eq!(stats.matches, 2); // node a and the root both match raw
+        assert_eq!(stats.results, 1); // only a survives the pruning
+    }
+}

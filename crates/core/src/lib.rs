@@ -1,0 +1,57 @@
+//! The query engines of *"Supporting Top-K Keyword Search in XML
+//! Databases"* (Chen & Papakonstantinou, ICDE 2010).
+//!
+//! # Semantics
+//!
+//! A `k`-keyword query returns **ELCA**s or **SLCA**s of the keyword
+//! inverted lists ([`query::Semantics`]).  SLCA is unambiguous: the minimal
+//! nodes whose subtree contains all keywords.  For ELCA two published
+//! variants exist and this crate implements both
+//! ([`query::ElcaVariant`]):
+//!
+//! * **Formal** — the XRank paper's written definition: a node is an ELCA
+//!   if every keyword has an occurrence below it that is not inside *any*
+//!   descendant subtree containing all keywords ("raw-full" subtrees).
+//! * **Operational** — what XRank's DIL stack algorithm and this paper's
+//!   Algorithm 1 actually compute: exclusion applies only at descendant
+//!   subtrees that are themselves *emitted ELCAs*.  The two differ only
+//!   when a raw-full descendant fails its own ELCA test.
+//!
+//! The join-based algorithms, the stack-based baseline, and the naive
+//! references support both variants; the index-based and RDIL baselines
+//! are candidate-generation algorithms whose completeness theorem only
+//! holds for the formal variant, so they implement that one — exactly the
+//! situation in the paper's own experimental comparison.
+//!
+//! # Engines
+//!
+//! * [`joinbased`] — Algorithm 1: bottom-up per-level joins over JDewey
+//!   columns with range-checked semantic pruning, merge/index joins chosen
+//!   dynamically per level (§III).
+//! * [`topk`] — the join-based top-K algorithm: score-ordered segment
+//!   cursors, the top-K **star join** with partial-result groups and the
+//!   tightened unseen-result threshold, per-column upper bounds (§IV).
+//! * [`baseline`] — stack-based DIL, Indexed-Lookup-Eager SLCA, the
+//!   index-based ELCA algorithm, and RDIL.
+//! * [`hybrid`] — the §V-D planner prototype choosing between the complete
+//!   join and the top-K join from a run-overlap cardinality estimate.
+//! * [`engine`] — a high-level façade over all of the above.
+
+pub mod baseline;
+pub mod diskexec;
+pub mod engine;
+pub mod eraser;
+pub mod explain;
+pub mod hybrid;
+pub mod joinbased;
+pub mod query;
+pub mod result;
+pub mod semantics;
+pub mod starjoin;
+pub mod topk;
+pub mod verify;
+
+pub use engine::Engine;
+pub use query::{ElcaVariant, Query, Semantics};
+pub use result::ScoredResult;
+pub use topk::{TopKOptions, TopKStream};

@@ -1,0 +1,70 @@
+//! Result types shared by all engines.
+
+use xtk_xml::tree::NodeId;
+
+/// One ELCA/SLCA result with its ranking score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredResult {
+    /// The result node.
+    pub node: NodeId,
+    /// Tree level (depth) of the node; root = 1.
+    pub level: u16,
+    /// Aggregated ranking score `F(I_1, …, I_k)` — the sum over keywords of
+    /// the maximum damped occurrence score (paper §II-B).  Zero when the
+    /// caller asked for unscored evaluation.
+    pub score: f32,
+}
+
+impl ScoredResult {
+    /// Sorts results the way every engine reports them for comparison:
+    /// score descending, ties broken by `(level, node)` descending-level so
+    /// deeper (more specific) results come first, then by node id.
+    pub fn rank_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores are finite")
+            .then(other.level.cmp(&self.level))
+            .then(self.node.cmp(&other.node))
+    }
+}
+
+/// Sorts a result list into the canonical rank order (see
+/// [`ScoredResult::rank_cmp`]).
+pub fn sort_ranked(results: &mut [ScoredResult]) {
+    results.sort_by(ScoredResult::rank_cmp);
+}
+
+/// Sorts results in document order (level-insensitive node order) — the
+/// order the complete-set engines naturally produce for unscored runs.
+pub fn sort_doc_order(results: &mut [ScoredResult]) {
+    results.sort_by_key(|r| r.node);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_order_prefers_score_then_depth() {
+        let mut rs = vec![
+            ScoredResult { node: NodeId(5), level: 2, score: 0.4 },
+            ScoredResult { node: NodeId(9), level: 4, score: 0.9 },
+            ScoredResult { node: NodeId(1), level: 3, score: 0.4 },
+        ];
+        sort_ranked(&mut rs);
+        assert_eq!(rs[0].node, NodeId(9));
+        assert_eq!(rs[1].node, NodeId(1), "deeper level wins the 0.4 tie");
+        assert_eq!(rs[2].node, NodeId(5));
+    }
+
+    #[test]
+    fn doc_order_sorts_by_node() {
+        let mut rs = vec![
+            ScoredResult { node: NodeId(9), level: 4, score: 0.9 },
+            ScoredResult { node: NodeId(1), level: 3, score: 0.1 },
+        ];
+        sort_doc_order(&mut rs);
+        assert_eq!(rs[0].node, NodeId(1));
+    }
+}

@@ -1,0 +1,620 @@
+//! The join-based top-K algorithm (paper §IV-C).
+//!
+//! Columns are still processed bottom-up (so the semantic pruning stays a
+//! local range check), but within each column postings are retrieved in
+//! descending **damped** score order and joined with the top-K
+//! [star join](crate::starjoin).  Because a posting's damped score at
+//! column `l` is `g·λ^(len-l)`, the inverted list is consumed through the
+//! per-length **segments** of Fig. 7 — each segment has one global score
+//! order; the cursors merge the segment heads online.
+//!
+//! A completed join result can be emitted without blocking as soon as its
+//! score reaches the global threshold: the maximum of (a) the star-join
+//! bound over this column's unseen/partial results and (b) for every
+//! not-yet-processed column `l' < l`, the bound `Σ_i s_m^i(l')` built from
+//! the segment heads.  The paper's skip rule applies: a column with no
+//! sequence ending exactly at `l'` is dominated by the column above it and
+//! is not computed.
+//!
+//! Semantics matches the complete join-based algorithm with
+//! [`ElcaVariant::Operational`](crate::query::ElcaVariant::Operational)
+//! erasure (which is what Algorithm 1 performs), so `topk_search(q, K)`
+//! returns exactly the `K` best results of
+//! [`join_search`](crate::joinbased::join_search) with scores.
+
+use crate::eraser::Eraser;
+use crate::query::{Query, Semantics};
+use crate::result::ScoredResult;
+use crate::starjoin::{Bucket, F32Ord};
+use std::collections::BinaryHeap;
+use xtk_index::score::Damping;
+use xtk_index::{TermData, XmlIndex};
+
+/// Which unseen-result bound gates the non-blocking output (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThresholdKind {
+    /// The paper's star-join bound with partial-result groups:
+    /// `max_P ( ms(G_P) + Σ_{j∉P} s^j )`.  Default.
+    #[default]
+    Tight,
+    /// The classic top-K join bound `max_i ( s^i + Σ_{j≠i} s_m^j )` the
+    /// paper compares against — kept for the ablation benchmark.
+    Classic,
+}
+
+/// Options for [`topk_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct TopKOptions {
+    /// Number of results to return.
+    pub k: usize,
+    /// ELCA or SLCA (the ELCA exclusion is the operational variant, as in
+    /// Algorithm 1).
+    pub semantics: Semantics,
+    /// Unseen-result bound (tight star-join vs classic top-K join).
+    pub threshold: ThresholdKind,
+}
+
+impl Default for TopKOptions {
+    fn default() -> Self {
+        Self { k: 10, semantics: Semantics::Elca, threshold: ThresholdKind::Tight }
+    }
+}
+
+/// Execution counters for the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopKStats {
+    /// Rows pulled through the segment cursors.
+    pub rows_retrieved: u64,
+    /// Columns processed before termination.
+    pub columns: u32,
+    /// Join results completed (candidates).
+    pub candidates: u64,
+    /// Results emitted before the final flush (non-blocking output).
+    pub emitted_early: u64,
+}
+
+/// Per-keyword score-ordered cursors over the length segments.
+struct Cursors<'a> {
+    term: &'a TermData,
+    /// Per segment: next index into `segment.rows` for the **current
+    /// column** (reset when the column changes).
+    pos: Vec<usize>,
+    /// Per segment: first non-erased index from the start — the segment
+    /// "head" used for future-column bounds (never reset; only advances as
+    /// erasures grow).
+    head: Vec<usize>,
+}
+
+impl<'a> Cursors<'a> {
+    fn new(term: &'a TermData) -> Self {
+        let n = term.segments.len();
+        Self { term, pos: vec![0; n], head: vec![0; n] }
+    }
+
+    fn reset_for_column(&mut self) {
+        self.pos.iter_mut().for_each(|p| *p = 0);
+    }
+
+    /// Best next damped score at `level`, advancing positions past erased
+    /// rows.  Returns `(segment index, damped score)`.
+    fn peek(&mut self, level: u16, eraser: &Eraser, damping: &Damping) -> Option<(usize, f32)> {
+        let mut best: Option<(usize, f32)> = None;
+        for (si, seg) in self.term.segments.iter().enumerate() {
+            if seg.len < level {
+                continue;
+            }
+            let p = &mut self.pos[si];
+            while *p < seg.rows.len() && eraser.is_erased(seg.rows[*p]) {
+                *p += 1;
+            }
+            if *p >= seg.rows.len() {
+                continue;
+            }
+            let g = self.term.scores[seg.rows[*p] as usize];
+            let damped = g * damping.factor(seg.len - level);
+            if best.map_or(true, |(_, b)| damped > b) {
+                best = Some((si, damped));
+            }
+        }
+        best
+    }
+
+    /// Pops the best next row at `level`: `(row, damped score)`.
+    fn pop(&mut self, level: u16, eraser: &Eraser, damping: &Damping) -> Option<(u32, f32)> {
+        let (si, damped) = self.peek(level, eraser, damping)?;
+        let row = self.term.segments[si].rows[self.pos[si]];
+        self.pos[si] += 1;
+        Some((row, damped))
+    }
+
+    /// `s_m(level)`: the best damped score any non-erased posting can
+    /// contribute at a *future* column `level`, from the segment heads.
+    fn future_max(&mut self, level: u16, eraser: &Eraser, damping: &Damping) -> f32 {
+        let mut best = 0.0f32;
+        for (si, seg) in self.term.segments.iter().enumerate() {
+            if seg.len < level {
+                continue;
+            }
+            let h = &mut self.head[si];
+            while *h < seg.rows.len() && eraser.is_erased(seg.rows[*h]) {
+                *h += 1;
+            }
+            if *h >= seg.rows.len() {
+                continue;
+            }
+            let g = self.term.scores[seg.rows[*h] as usize];
+            best = best.max(g * damping.factor(seg.len - level));
+        }
+        best
+    }
+
+    /// `true` iff some segment of this keyword ends exactly at `level` —
+    /// the paper's condition for when a column's bound must be computed.
+    fn has_len(&self, level: u16) -> bool {
+        self.term.segments.iter().any(|s| s.len == level)
+    }
+}
+
+/// Runs the join-based top-K algorithm, returning at most `opts.k` results
+/// in emission order (non-increasing score up to threshold ties).
+///
+/// Implemented on top of [`TopKStream`]; use the stream directly for
+/// pagination ("next 10") without recomputation.
+pub fn topk_search(
+    ix: &XmlIndex,
+    query: &Query,
+    opts: &TopKOptions,
+) -> (Vec<ScoredResult>, TopKStats) {
+    let mut stream = TopKStream::new(ix, query, opts);
+    let results: Vec<ScoredResult> = stream.by_ref().take(opts.k).collect();
+    (results, stream.stats())
+}
+
+/// Resumable top-K execution: an [`Iterator`] yielding results in valid
+/// rank order (each yielded result's score is at least every later one's).
+///
+/// The stream holds the full algorithm state — segment cursors, erasure,
+/// the star-join bucket and the pending heap — so asking for more results
+/// after the first `K` continues where the scan stopped instead of
+/// re-running the query.
+pub struct TopKStream<'a> {
+    ix: &'a XmlIndex,
+    terms: Vec<&'a TermData>,
+    semantics: Semantics,
+    threshold_kind: ThresholdKind,
+    /// Retrieval-policy hint (paper §IV-B: round-robin until this many
+    /// candidates exist, then highest-next-score).
+    k_hint: usize,
+    erasers: Vec<Eraser>,
+    cursors: Vec<Cursors<'a>>,
+    pending: BinaryHeap<(F32Ord, u16, u32)>,
+    stats: TopKStats,
+    /// Current column (tree level); 0 once every column is exhausted.
+    level: u16,
+    bucket: Bucket,
+    rr: usize,
+    s_max_col: Vec<f32>,
+    emitted: usize,
+}
+
+impl<'a> TopKStream<'a> {
+    /// Prepares a stream; no work happens until the first `next()`.
+    pub fn new(ix: &'a XmlIndex, query: &Query, opts: &TopKOptions) -> Self {
+        let terms: Vec<&TermData> = query.terms.iter().map(|&t| ix.term(t)).collect();
+        let k = terms.len();
+        let empty = terms.iter().any(|t| t.is_empty());
+        let l0 = if empty {
+            0
+        } else {
+            terms.iter().map(|t| t.max_len()).min().expect("k >= 1")
+        };
+        let cursors: Vec<Cursors> = terms.iter().map(|t| Cursors::new(t)).collect();
+        let mut stream = Self {
+            ix,
+            semantics: opts.semantics,
+            threshold_kind: opts.threshold,
+            k_hint: opts.k.max(1),
+            erasers: (0..k).map(|_| Eraser::new()).collect(),
+            cursors,
+            pending: BinaryHeap::new(),
+            stats: TopKStats::default(),
+            level: l0,
+            bucket: Bucket::new(k.max(1)),
+            rr: 0,
+            s_max_col: vec![0.0; k],
+            emitted: 0,
+            terms,
+        };
+        if stream.level > 0 {
+            stream.enter_column();
+        }
+        stream
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> TopKStats {
+        self.stats
+    }
+
+    /// Number of results yielded so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    fn enter_column(&mut self) {
+        let damping = self.ix.damping();
+        self.stats.columns += 1;
+        self.bucket = Bucket::new(self.terms.len());
+        self.rr = 0;
+        for (i, c) in self.cursors.iter_mut().enumerate() {
+            c.reset_for_column();
+            self.s_max_col[i] = c
+                .peek(self.level, &self.erasers[i], damping)
+                .map(|(_, d)| d)
+                .unwrap_or(0.0);
+        }
+    }
+
+    /// One retrieval step in the current column.  Returns `false` when the
+    /// column is exhausted.
+    fn step(&mut self) -> bool {
+        let damping = self.ix.damping();
+        let k = self.terms.len();
+        let l = self.level;
+        let mut s = vec![0.0f32; k];
+        let mut any = false;
+        for i in 0..k {
+            if let Some((_, d)) = self.cursors[i].peek(l, &self.erasers[i], damping) {
+                s[i] = d;
+                any = true;
+            }
+        }
+        if !any {
+            return false;
+        }
+        // Pick the keyword: round-robin until k_hint candidates exist,
+        // then highest next score (paper §IV-B step 1).
+        let pick = if self.stats.candidates < self.k_hint as u64 {
+            let mut p = self.rr % k;
+            let mut spins = 0;
+            while s[p] == 0.0 && spins < k {
+                p = (p + 1) % k;
+                spins += 1;
+            }
+            self.rr = p + 1;
+            p
+        } else {
+            let mut p = 0;
+            for i in 1..k {
+                if s[i] > s[p] {
+                    p = i;
+                }
+            }
+            p
+        };
+        let Some((row, damped)) = self.cursors[pick].pop(l, &self.erasers[pick], damping) else {
+            return true;
+        };
+        self.stats.rows_retrieved += 1;
+        let value = self.terms[pick].columns[l as usize - 1]
+            .value_of_row(row)
+            .expect("retrieved row reaches this level");
+        if let Some(done) = self.bucket.insert(value, pick, damped) {
+            self.stats.candidates += 1;
+            // Fetch the matched runs for the range check + erasure.
+            let runs: Vec<_> = self
+                .terms
+                .iter()
+                .map(|t| {
+                    *t.columns[l as usize - 1]
+                        .find(value)
+                        .expect("completed value present in every column")
+                })
+                .collect();
+            let accept = match self.semantics {
+                // Completion already implies one non-erased occurrence
+                // per keyword — the operational ELCA condition.
+                Semantics::Elca => true,
+                // SLCA additionally requires no erased row underneath.
+                Semantics::Slca => runs
+                    .iter()
+                    .zip(&self.erasers)
+                    .all(|(r, e)| !e.any_in(r.start, r.end())),
+            };
+            for (r, e) in runs.iter().zip(self.erasers.iter_mut()) {
+                e.erase(r.start, r.end());
+            }
+            if accept {
+                self.pending.push((F32Ord(done.score), l, value));
+            }
+        }
+        true
+    }
+
+    /// The current global threshold over everything not yet generated:
+    /// this column's star-join bound plus the future-column bounds with
+    /// the paper's skip rule.
+    fn threshold(&mut self) -> f32 {
+        let damping = self.ix.damping();
+        let k = self.terms.len();
+        let l = self.level;
+        let mut s_now = vec![0.0f32; k];
+        for i in 0..k {
+            if let Some((_, d)) = self.cursors[i].peek(l, &self.erasers[i], damping) {
+                s_now[i] = d;
+            }
+        }
+        let mut threshold = match self.threshold_kind {
+            ThresholdKind::Tight => self.bucket.threshold(&s_now),
+            ThresholdKind::Classic => Bucket::classic_threshold(&s_now, &self.s_max_col),
+        };
+        for lf in (1..l).rev() {
+            // Skip rule: a column below l-1 where no sequence ends is
+            // dominated by the column above it.
+            if lf < l - 1 && !self.cursors.iter().any(|c| c.has_len(lf)) {
+                continue;
+            }
+            let mut bound = 0.0f32;
+            for i in 0..k {
+                bound += self.cursors[i].future_max(lf, &self.erasers[i], damping);
+            }
+            threshold = threshold.max(bound);
+        }
+        threshold
+    }
+
+    fn emit(&mut self, score: f32, level: u16, value: u32) -> ScoredResult {
+        let node = self.ix.node_at(level, value).expect("value identifies a node");
+        self.emitted += 1;
+        ScoredResult { node, level, score }
+    }
+}
+
+impl Iterator for TopKStream<'_> {
+    type Item = ScoredResult;
+
+    fn next(&mut self) -> Option<ScoredResult> {
+        loop {
+            if self.level == 0 {
+                // Every column processed: flush by score.
+                let (F32Ord(score), level, value) = self.pending.pop()?;
+                return Some(self.emit(score, level, value));
+            }
+            if !self.step() {
+                // Column exhausted: move up.
+                self.level -= 1;
+                if self.level > 0 {
+                    self.enter_column();
+                }
+                continue;
+            }
+            // Computing the threshold only pays off when a candidate is
+            // actually waiting to be emitted.
+            if self.pending.is_empty() {
+                continue;
+            }
+            let threshold = self.threshold();
+            if let Some(&(F32Ord(score), level, value)) = self.pending.peek() {
+                if score >= threshold {
+                    self.pending.pop();
+                    self.stats.emitted_early += 1;
+                    return Some(self.emit(score, level, value));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joinbased::{join_search, JoinOptions};
+    use crate::query::ElcaVariant;
+    use crate::result::sort_ranked;
+    use xtk_xml::parse;
+
+    /// Asserts that `got` is a valid top-K of `complete`: scores match the
+    /// K best (ties at the boundary may swap which node is returned).
+    fn assert_topk_valid(got: &[ScoredResult], complete: &[ScoredResult], k: usize) {
+        let mut complete = complete.to_vec();
+        sort_ranked(&mut complete);
+        let expect_len = k.min(complete.len());
+        assert_eq!(got.len(), expect_len, "result count");
+        for (i, r) in got.iter().enumerate() {
+            // Result must exist in the complete set with the same score.
+            let found = complete
+                .iter()
+                .find(|c| c.node == r.node)
+                .unwrap_or_else(|| panic!("top-K returned non-result {:?}", r.node));
+            assert!(
+                (found.score - r.score).abs() < 1e-4,
+                "score mismatch for {:?}: topk={} complete={}",
+                r.node,
+                r.score,
+                found.score
+            );
+            // Score must match the i-th best score.
+            assert!(
+                (complete[i].score - r.score).abs() < 1e-4,
+                "rank {i}: topk score {} vs complete {}",
+                r.score,
+                complete[i].score
+            );
+        }
+    }
+
+    fn check(xml: &str, words: &[&str], k: usize, semantics: Semantics) {
+        let ix = XmlIndex::build(parse(xml).unwrap());
+        let q = Query::from_words(&ix, words).unwrap();
+        let (got, _) = topk_search(&ix, &q, &TopKOptions { k, semantics, ..Default::default() });
+        let (complete, _) = join_search(
+            &ix,
+            &q,
+            &JoinOptions {
+                semantics,
+                variant: ElcaVariant::Operational,
+                with_scores: true,
+                ..Default::default()
+            },
+        );
+        assert_topk_valid(&got, &complete, k);
+    }
+
+    #[test]
+    fn topk_equals_complete_prefix_small() {
+        let xml = "<r><a><p>x y</p><q>x</q></a><b><s>x y</s></b><c>y</c></r>";
+        for k in 1..5 {
+            check(xml, &["x", "y"], k, Semantics::Elca);
+            check(xml, &["x", "y"], k, Semantics::Slca);
+        }
+    }
+
+    #[test]
+    fn topk_on_three_keywords() {
+        let xml = "<r><u><p>a b c</p></u><v><p>a b</p><q>c</q></v><w>a<x>b c</x></w></r>";
+        for k in [1, 2, 3, 10] {
+            check(xml, &["a", "b", "c"], k, Semantics::Elca);
+            check(xml, &["a", "b", "c"], k, Semantics::Slca);
+        }
+    }
+
+    #[test]
+    fn nested_results_rank_by_damping() {
+        // Deep compact match should outrank the root-level spread match.
+        let xml = "<r><deep><d2><d3>m n</d3></d2></deep><m1>m</m1><n1>n</n1></r>";
+        let ix = XmlIndex::build(parse(xml).unwrap());
+        let q = Query::from_words(&ix, &["m", "n"]).unwrap();
+        let (got, _) = topk_search(&ix, &q, &TopKOptions { k: 1, semantics: Semantics::Elca, ..Default::default() });
+        assert_eq!(got.len(), 1);
+        assert_eq!(ix.tree().label(got[0].node), "d3", "compact subtree wins");
+    }
+
+    #[test]
+    fn k_zero_and_missing_results() {
+        let ix = XmlIndex::build(parse("<r><a>x</a><b>y</b></r>").unwrap());
+        let q = Query::from_words(&ix, &["x", "y"]).unwrap();
+        let (got, _) = topk_search(&ix, &q, &TopKOptions { k: 0, semantics: Semantics::Elca, ..Default::default() });
+        assert!(got.is_empty());
+        // K exceeding result count returns everything.
+        let (got, _) = topk_search(&ix, &q, &TopKOptions { k: 99, semantics: Semantics::Elca, ..Default::default() });
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn early_emission_happens_when_threshold_drops() {
+        // Many independent matches at the same level: the best one should
+        // be emitted before the whole column is consumed... at minimum the
+        // run must produce correct results with some early emissions
+        // across a larger corpus.
+        let mut xml = String::from("<r>");
+        for i in 0..50 {
+            xml.push_str(&format!("<p><s>alpha{}</s>beta gamma</p>", i % 3));
+        }
+        for _ in 0..30 {
+            xml.push_str("<p>beta</p><p>gamma</p>");
+        }
+        xml.push_str("</r>");
+        let ix = XmlIndex::build(parse(&xml).unwrap());
+        let q = Query::from_words(&ix, &["beta", "gamma"]).unwrap();
+        let (got, stats) = topk_search(&ix, &q, &TopKOptions { k: 5, semantics: Semantics::Elca, ..Default::default() });
+        assert_eq!(got.len(), 5);
+        let (complete, _) = join_search(
+            &ix,
+            &q,
+            &JoinOptions { with_scores: true, ..Default::default() },
+        );
+        assert_topk_valid(&got, &complete, 5);
+        assert!(stats.rows_retrieved > 0);
+    }
+
+    #[test]
+    fn classic_threshold_agrees_but_emits_later() {
+        // Both thresholds are sound, so the result sets must agree; the
+        // tight bound must never emit fewer results early.
+        let mut xml = String::from("<r>");
+        for i in 0..60 {
+            xml.push_str(&format!("<p><s>pad{}</s>aa bb</p>", i % 5));
+        }
+        xml.push_str("<q>aa</q><q>bb</q></r>");
+        let ix = XmlIndex::build(xtk_xml::parse(&xml).unwrap());
+        let q = Query::from_words(&ix, &["aa", "bb"]).unwrap();
+        let (tight, st) = topk_search(
+            &ix,
+            &q,
+            &TopKOptions { k: 5, semantics: Semantics::Elca, threshold: ThresholdKind::Tight },
+        );
+        let (classic, sc) = topk_search(
+            &ix,
+            &q,
+            &TopKOptions { k: 5, semantics: Semantics::Elca, threshold: ThresholdKind::Classic },
+        );
+        assert_eq!(tight.len(), classic.len());
+        for (a, b) in tight.iter().zip(&classic) {
+            assert!((a.score - b.score).abs() < 1e-5);
+        }
+        assert!(
+            st.emitted_early >= sc.emitted_early,
+            "tight bound must unblock at least as early ({} vs {})",
+            st.emitted_early,
+            sc.emitted_early
+        );
+    }
+
+    #[test]
+    fn stream_pagination_equals_one_shot() {
+        // Pulling K then K more from one stream equals asking for 2K.
+        let mut xml = String::from("<r>");
+        for i in 0..40 {
+            xml.push_str(&format!("<p><s>f{}</s>aa bb</p>", i % 4));
+        }
+        xml.push_str("</r>");
+        let ix = XmlIndex::build(xtk_xml::parse(&xml).unwrap());
+        let q = Query::from_words(&ix, &["aa", "bb"]).unwrap();
+        let opts = TopKOptions { k: 5, semantics: Semantics::Elca, ..Default::default() };
+        let mut stream = TopKStream::new(&ix, &q, &opts);
+        let first: Vec<_> = stream.by_ref().take(5).collect();
+        let second: Vec<_> = stream.by_ref().take(5).collect();
+        assert_eq!(first.len(), 5);
+        assert_eq!(second.len(), 5);
+        let (oneshot, _) = topk_search(
+            &ix,
+            &q,
+            &TopKOptions { k: 10, semantics: Semantics::Elca, ..Default::default() },
+        );
+        let paged: Vec<f32> = first.iter().chain(&second).map(|r| r.score).collect();
+        let direct: Vec<f32> = oneshot.iter().map(|r| r.score).collect();
+        for (a, b) in paged.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-5, "paged {a} vs direct {b}");
+        }
+        assert_eq!(stream.emitted(), 10);
+    }
+
+    #[test]
+    fn stream_yields_monotone_scores_and_terminates() {
+        let ix = XmlIndex::build(
+            xtk_xml::parse("<r><a>x y</a><b>x</b><c><d>x y</d>y</c></r>").unwrap(),
+        );
+        let q = Query::from_words(&ix, &["x", "y"]).unwrap();
+        let stream = TopKStream::new(&ix, &q, &TopKOptions::default());
+        let all: Vec<_> = stream.collect();
+        assert!(!all.is_empty());
+        for w in all.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-6, "scores must not increase");
+        }
+        // Draining past the end keeps returning None.
+        let mut again = TopKStream::new(&ix, &q, &TopKOptions::default());
+        let n = again.by_ref().count();
+        assert_eq!(n, all.len());
+        assert_eq!(again.next(), None);
+        assert_eq!(again.next(), None);
+    }
+
+    #[test]
+    fn stream_on_empty_query_terms() {
+        let ix = XmlIndex::build(xtk_xml::parse("<r>only</r>").unwrap());
+        let q = Query::from_words(&ix, &["only"]).unwrap();
+        let mut stream = TopKStream::new(&ix, &q, &TopKOptions::default());
+        assert!(stream.next().is_some());
+        assert!(stream.next().is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Property-based cross-validation of every engine on random trees with
+//! random keyword placements — the backbone correctness argument of the
+//! whole reproduction:
+//!
+//! * join-based ≡ stack-based ≡ naive, per semantics and ELCA variant;
+//! * index-based ≡ naive formal (its completeness theorem's home turf);
+//! * top-K join returns exactly the K best of the complete scored set;
+//! * RDIL returns exactly the K best of the formal scored set;
+//! * all three join plans (dynamic / merge-only / index-only) agree.
+
+use proptest::prelude::*;
+use xtk_core::baseline::indexed::{indexed_search, IndexedOptions};
+use xtk_core::baseline::rdil::{rdil_search, RdilOptions};
+use xtk_core::baseline::stack::{stack_search, StackOptions};
+use xtk_core::joinbased::{join_search, JoinOptions, JoinPlan};
+use xtk_core::query::{ElcaVariant, Query, Semantics};
+use xtk_core::result::{sort_ranked, ScoredResult};
+use xtk_core::semantics::{naive_elca, naive_slca};
+use xtk_core::topk::{topk_search, TopKOptions};
+use xtk_index::XmlIndex;
+use xtk_xml::tree::{NodeId, XmlTree};
+
+/// Random tree + random keyword placements, built in pre-order.
+fn build_corpus(shape: &[usize], placements: &[(usize, usize)], k: usize) -> XmlIndex {
+    let n = shape.len() + 1;
+    let mut parents = vec![usize::MAX; n];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &c) in shape.iter().enumerate() {
+        let p = c % (i + 1);
+        parents[i + 1] = p;
+        children[p].push(i + 1);
+    }
+    let mut tree = XmlTree::with_capacity(n);
+    let mut map = vec![NodeId(0); n];
+    map[0] = tree.add_root("n0");
+    let mut stack: Vec<usize> = children[0].iter().rev().copied().collect();
+    while let Some(v) = stack.pop() {
+        map[v] = tree.add_child(map[parents[v]], format!("n{v}"));
+        for &c in children[v].iter().rev() {
+            stack.push(c);
+        }
+    }
+    // Place keywords; ensure every keyword occurs at least once.
+    for kw in 0..k {
+        tree.append_text(map[kw % n], &format!("kw{kw}"));
+    }
+    for &(node, kw) in placements {
+        tree.append_text(map[node % n], &format!("kw{}", kw % k));
+    }
+    XmlIndex::build(tree)
+}
+
+fn query(ix: &XmlIndex, k: usize) -> Query {
+    let words: Vec<String> = (0..k).map(|i| format!("kw{i}")).collect();
+    Query::from_words(ix, &words).expect("all keywords planted")
+}
+
+fn nodes(mut rs: Vec<ScoredResult>) -> Vec<NodeId> {
+    rs.sort_by_key(|r| r.node);
+    rs.iter().map(|r| r.node).collect()
+}
+
+/// `got` must be a valid top-K of the ranked `complete` set: same scores
+/// position by position, each returned node a real result with its exact
+/// score.
+fn assert_topk_valid(got: &[ScoredResult], complete: &mut Vec<ScoredResult>, k: usize) {
+    sort_ranked(complete);
+    assert_eq!(got.len(), k.min(complete.len()), "result count");
+    for (i, r) in got.iter().enumerate() {
+        let found = complete
+            .iter()
+            .find(|c| c.node == r.node)
+            .unwrap_or_else(|| panic!("top-K returned non-result {:?}", r.node));
+        assert!(
+            (found.score - r.score).abs() < 1e-4,
+            "score mismatch for {:?}: {} vs {}",
+            r.node,
+            r.score,
+            found.score
+        );
+        assert!(
+            (complete[i].score - r.score).abs() < 1e-4,
+            "rank {i}: {} vs {}",
+            r.score,
+            complete[i].score
+        );
+    }
+}
+
+fn corpus_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<(usize, usize)>, usize)> {
+    (
+        prop::collection::vec(0usize..10_000, 1..60),
+        prop::collection::vec((0usize..10_000, 0usize..10_000), 0..80),
+        2usize..5,
+    )
+}
+
+/// Chain-heavy shapes: parent choices biased to the most recent node, so
+/// trees get deep (many JDewey columns) — exercises the per-level loops
+/// far harder than the mostly-flat uniform shapes.
+fn deep_corpus_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<(usize, usize)>, usize)> {
+    (
+        prop::collection::vec(0usize..3, 10..80),
+        prop::collection::vec((0usize..10_000, 0usize..10_000), 1..60),
+        2usize..4,
+    )
+        .prop_map(|(mut shape, placements, k)| {
+            // chance-of-chain: parent = i (the previous node) for most entries.
+            for (i, c) in shape.iter_mut().enumerate() {
+                if *c > 0 {
+                    *c = i; // attach to the immediately previous node
+                }
+            }
+            (shape, placements, k)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn complete_engines_agree((shape, placements, k) in corpus_strategy()) {
+        let ix = build_corpus(&shape, &placements, k);
+        let q = query(&ix, k);
+        let lists: Vec<&[NodeId]> =
+            q.terms.iter().map(|&t| ix.term(t).postings.as_slice()).collect();
+
+        // SLCA: all four engines and the naive reference.
+        let want_slca = naive_slca(ix.tree(), &lists);
+        let join_slca = nodes(join_search(&ix, &q, &JoinOptions {
+            semantics: Semantics::Slca, ..Default::default()
+        }).0);
+        let stack_slca = nodes(stack_search(&ix, &q, &StackOptions {
+            semantics: Semantics::Slca, ..Default::default()
+        }));
+        let indexed_slca = nodes(indexed_search(&ix, &q, &IndexedOptions {
+            semantics: Semantics::Slca, with_scores: false
+        }));
+        prop_assert_eq!(&join_slca, &want_slca, "join SLCA");
+        prop_assert_eq!(&stack_slca, &want_slca, "stack SLCA");
+        prop_assert_eq!(&indexed_slca, &want_slca, "indexed SLCA");
+
+        // ELCA, both variants, join + stack vs naive.
+        for variant in [ElcaVariant::Operational, ElcaVariant::Formal] {
+            let want = naive_elca(ix.tree(), &lists, variant);
+            let join = nodes(join_search(&ix, &q, &JoinOptions {
+                semantics: Semantics::Elca, variant, ..Default::default()
+            }).0);
+            let stack = nodes(stack_search(&ix, &q, &StackOptions {
+                semantics: Semantics::Elca, variant
+            }));
+            prop_assert_eq!(&join, &want, "join ELCA {:?}", variant);
+            prop_assert_eq!(&stack, &want, "stack ELCA {:?}", variant);
+        }
+
+        // Index-based ELCA vs naive formal.
+        let want_formal = naive_elca(ix.tree(), &lists, ElcaVariant::Formal);
+        let indexed = nodes(indexed_search(&ix, &q, &IndexedOptions {
+            semantics: Semantics::Elca, with_scores: false
+        }));
+        prop_assert_eq!(&indexed, &want_formal, "indexed ELCA formal");
+    }
+
+    #[test]
+    fn join_plans_agree((shape, placements, k) in corpus_strategy()) {
+        let ix = build_corpus(&shape, &placements, k);
+        let q = query(&ix, k);
+        for semantics in [Semantics::Elca, Semantics::Slca] {
+            let base = nodes(join_search(&ix, &q, &JoinOptions {
+                semantics, plan: JoinPlan::Dynamic, ..Default::default()
+            }).0);
+            for plan in [JoinPlan::MergeOnly, JoinPlan::IndexOnly] {
+                let other = nodes(join_search(&ix, &q, &JoinOptions {
+                    semantics, plan, ..Default::default()
+                }).0);
+                prop_assert_eq!(&other, &base, "{:?} {:?}", semantics, plan);
+            }
+        }
+    }
+
+    #[test]
+    fn topk_is_prefix_of_complete((shape, placements, k) in corpus_strategy(), kk in 1usize..8) {
+        let ix = build_corpus(&shape, &placements, k);
+        let q = query(&ix, k);
+        for semantics in [Semantics::Elca, Semantics::Slca] {
+            let (got, _) = topk_search(&ix, &q, &TopKOptions { k: kk, semantics, ..Default::default() });
+            let (mut complete, _) = join_search(&ix, &q, &JoinOptions {
+                semantics,
+                variant: ElcaVariant::Operational,
+                with_scores: true,
+                ..Default::default()
+            });
+            assert_topk_valid(&got, &mut complete, kk);
+        }
+    }
+
+    #[test]
+    fn rdil_is_prefix_of_formal_complete((shape, placements, k) in corpus_strategy(), kk in 1usize..8) {
+        let ix = build_corpus(&shape, &placements, k);
+        let q = query(&ix, k);
+        for semantics in [Semantics::Elca, Semantics::Slca] {
+            let (got, _) = rdil_search(&ix, &q, &RdilOptions { k: kk, semantics });
+            let mut complete = indexed_search(&ix, &q, &IndexedOptions {
+                semantics, with_scores: true
+            });
+            assert_topk_valid(&got, &mut complete, kk);
+        }
+    }
+
+    #[test]
+    fn scores_agree_between_join_and_verifier((shape, placements, k) in corpus_strategy()) {
+        // The join-based engine's incremental scoring must equal the
+        // from-scratch verifier scoring on the formal variant.
+        let ix = build_corpus(&shape, &placements, k);
+        let q = query(&ix, k);
+        let (join, _) = join_search(&ix, &q, &JoinOptions {
+            semantics: Semantics::Elca,
+            variant: ElcaVariant::Formal,
+            with_scores: true,
+            ..Default::default()
+        });
+        let indexed = indexed_search(&ix, &q, &IndexedOptions {
+            semantics: Semantics::Elca, with_scores: true
+        });
+        let mut jmap: Vec<(NodeId, f32)> = join.iter().map(|r| (r.node, r.score)).collect();
+        let mut imap: Vec<(NodeId, f32)> = indexed.iter().map(|r| (r.node, r.score)).collect();
+        jmap.sort_by_key(|(n, _)| *n);
+        imap.sort_by_key(|(n, _)| *n);
+        prop_assert_eq!(jmap.len(), imap.len());
+        for ((jn, js), (inn, is)) in jmap.iter().zip(&imap) {
+            prop_assert_eq!(jn, inn);
+            prop_assert!((js - is).abs() < 1e-4, "{:?}: {} vs {}", jn, js, is);
+        }
+    }
+
+    #[test]
+    fn deep_trees_agree_across_engines((shape, placements, k) in deep_corpus_strategy()) {
+        let ix = build_corpus(&shape, &placements, k);
+        let q = query(&ix, k);
+        let lists: Vec<&[NodeId]> =
+            q.terms.iter().map(|&t| ix.term(t).postings.as_slice()).collect();
+        let want_slca = naive_slca(ix.tree(), &lists);
+        let join_slca = nodes(join_search(&ix, &q, &JoinOptions {
+            semantics: Semantics::Slca, ..Default::default()
+        }).0);
+        prop_assert_eq!(&join_slca, &want_slca);
+        let want = naive_elca(ix.tree(), &lists, ElcaVariant::Operational);
+        let join = nodes(join_search(&ix, &q, &JoinOptions::default()).0);
+        let stack = nodes(stack_search(&ix, &q, &StackOptions::default()));
+        prop_assert_eq!(&join, &want);
+        prop_assert_eq!(&stack, &want);
+        // Top-K on deep trees too.
+        let (got, _) = topk_search(&ix, &q, &TopKOptions { k: 5, semantics: Semantics::Elca, ..Default::default() });
+        let (mut complete, _) = join_search(&ix, &q, &JoinOptions {
+            with_scores: true, ..Default::default()
+        });
+        assert_topk_valid(&got, &mut complete, 5);
+    }
+}

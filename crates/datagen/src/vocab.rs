@@ -1,0 +1,90 @@
+//! Synthetic vocabularies: background words, author names, venue names.
+
+use crate::zipf::Zipf;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A Zipf-weighted background vocabulary of `w<rank>` words.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    zipf: Zipf,
+}
+
+impl Vocab {
+    /// `n` distinct words, Zipf exponent `s` (≈1.05–1.2 models natural
+    /// text).
+    pub fn new(n: usize, s: f64) -> Self {
+        Self { zipf: Zipf::new(n, s) }
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.zipf.len()
+    }
+
+    /// `true` iff the vocabulary is empty (never by construction).
+    pub fn is_empty(&self) -> bool {
+        self.zipf.is_empty()
+    }
+
+    /// Samples one word.
+    pub fn word(&self, rng: &mut SmallRng) -> String {
+        format!("w{}", self.zipf.sample(rng))
+    }
+
+    /// Appends `count` sampled words to `out`, space-separated.
+    pub fn sentence_into(&self, rng: &mut SmallRng, count: usize, out: &mut String) {
+        for i in 0..count {
+            if i > 0 || !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&self.word(rng));
+        }
+    }
+}
+
+/// Deterministic author-name pool (`firstN lastM` pairs).
+pub fn author_name(rng: &mut SmallRng, pool: usize) -> String {
+    let f = rng.gen_range(0..pool);
+    let l = rng.gen_range(0..pool);
+    format!("first{f} last{l}")
+}
+
+/// Conference name for index `i` (shared prefix exercises tokenization).
+pub fn conf_name(i: usize) -> String {
+    format!("conf{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_are_prefixed_and_bounded() {
+        let v = Vocab::new(100, 1.1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let w = v.word(&mut rng);
+            assert!(w.starts_with('w'));
+            let rank: usize = w[1..].parse().unwrap();
+            assert!(rank < 100);
+        }
+    }
+
+    #[test]
+    fn sentence_has_requested_words() {
+        let v = Vocab::new(50, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut s = String::new();
+        v.sentence_into(&mut rng, 7, &mut s);
+        assert_eq!(s.split_whitespace().count(), 7);
+    }
+
+    #[test]
+    fn names_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        assert_eq!(author_name(&mut a, 10), author_name(&mut b, 10));
+    }
+}

@@ -1,0 +1,201 @@
+//! The XMark-like corpus generator.
+//!
+//! XMark models an auction site; the paper runs it at scale factor 1
+//! (113 MB) and reports results "similar" to DBLP.  This generator emits
+//! the schema's main branches at comparable depth and fanout:
+//!
+//! ```text
+//! site
+//! ├── regions / (africa|asia|europe|namerica) / item { name, description / text / keyword* }
+//! ├── people / person { name, emailaddress, profile / interest* }
+//! ├── open_auctions / open_auction { initial, bidder* { increase }, annotation / description }
+//! └── closed_auctions / closed_auction { price, annotation }
+//! ```
+//!
+//! Planted terms go into item description text nodes (level 6) — deeper
+//! than DBLP's titles, exercising the per-level machinery differently.
+
+use crate::vocab::Vocab;
+use crate::{plant_terms, PlantedTerm};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xtk_xml::tree::NodeId;
+use xtk_xml::XmlTree;
+
+/// Configuration of the XMark-like generator.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Items per region (4 regions).
+    pub items_per_region: usize,
+    /// Number of person elements.
+    pub people: usize,
+    /// Number of open auctions.
+    pub open_auctions: usize,
+    /// Number of closed auctions.
+    pub closed_auctions: usize,
+    /// Background words per description text.
+    pub description_words: usize,
+    /// Background vocabulary size.
+    pub vocab_size: usize,
+    /// Zipf exponent.
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Terms planted into item description texts.
+    pub planted: Vec<PlantedTerm>,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        Self {
+            items_per_region: 100,
+            people: 100,
+            open_auctions: 60,
+            closed_auctions: 40,
+            description_words: 10,
+            vocab_size: 10_000,
+            zipf_s: 1.07,
+            seed: 0x31A7,
+            planted: Vec::new(),
+        }
+    }
+}
+
+/// A generated XMark-like corpus.
+#[derive(Debug)]
+pub struct XmarkCorpus {
+    /// The document.
+    pub tree: XmlTree,
+    /// Item description text nodes (planting targets).
+    pub descriptions: Vec<NodeId>,
+}
+
+const REGIONS: [&str; 4] = ["africa", "asia", "europe", "namerica"];
+
+/// Generates the corpus.
+pub fn generate(cfg: &XmarkConfig) -> XmarkCorpus {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let vocab = Vocab::new(cfg.vocab_size, cfg.zipf_s);
+    let mut tree = XmlTree::new();
+    let site = tree.add_root("site");
+
+    // regions / <region> / item / { name, description / text }
+    let regions = tree.add_child(site, "regions");
+    let mut descriptions = Vec::new();
+    let mut item_id = 0usize;
+    for region in REGIONS {
+        let rnode = tree.add_child(regions, region);
+        for _ in 0..cfg.items_per_region {
+            let item = tree.add_child(rnode, "item");
+            let idattr = tree.add_child(item, "@id");
+            tree.append_text(idattr, &format!("item{item_id}"));
+            item_id += 1;
+            let name = tree.add_child(item, "name");
+            tree.append_text(name, &vocab.word(&mut rng));
+            let desc = tree.add_child(item, "description");
+            let text = tree.add_child(desc, "text");
+            let mut s = String::new();
+            vocab.sentence_into(&mut rng, cfg.description_words, &mut s);
+            tree.append_text(text, &s);
+            descriptions.push(text);
+        }
+    }
+
+    // people / person { name, emailaddress, profile / interest* }
+    let people = tree.add_child(site, "people");
+    for p in 0..cfg.people {
+        let person = tree.add_child(people, "person");
+        let name = tree.add_child(person, "name");
+        tree.append_text(name, &crate::vocab::author_name(&mut rng, 997));
+        let email = tree.add_child(person, "emailaddress");
+        tree.append_text(email, &format!("mailto person{p} example com"));
+        let profile = tree.add_child(person, "profile");
+        for _ in 0..rng.gen_range(0..3usize) {
+            let interest = tree.add_child(profile, "interest");
+            tree.append_text(interest, &vocab.word(&mut rng));
+        }
+    }
+
+    // open_auctions / open_auction { initial, bidder*/increase, annotation/description }
+    let opens = tree.add_child(site, "open_auctions");
+    for _ in 0..cfg.open_auctions {
+        let oa = tree.add_child(opens, "open_auction");
+        let initial = tree.add_child(oa, "initial");
+        tree.append_text(initial, &format!("{}", rng.gen_range(1..500)));
+        for _ in 0..rng.gen_range(0..4usize) {
+            let bidder = tree.add_child(oa, "bidder");
+            let inc = tree.add_child(bidder, "increase");
+            tree.append_text(inc, &format!("{}", rng.gen_range(1..50)));
+        }
+        let ann = tree.add_child(oa, "annotation");
+        let d = tree.add_child(ann, "description");
+        let mut s = String::new();
+        vocab.sentence_into(&mut rng, cfg.description_words / 2, &mut s);
+        tree.append_text(d, &s);
+    }
+
+    // closed_auctions / closed_auction { price, annotation }
+    let closed = tree.add_child(site, "closed_auctions");
+    for _ in 0..cfg.closed_auctions {
+        let ca = tree.add_child(closed, "closed_auction");
+        let price = tree.add_child(ca, "price");
+        tree.append_text(price, &format!("{}", rng.gen_range(1..1000)));
+        let ann = tree.add_child(ca, "annotation");
+        tree.append_text(ann, &vocab.word(&mut rng));
+    }
+
+    plant_terms(&mut tree, &descriptions, &cfg.planted, &mut rng);
+    XmarkCorpus { tree, descriptions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtk_xml::stats::TreeStats;
+
+    #[test]
+    fn schema_branches_exist() {
+        let corpus = generate(&XmarkConfig {
+            items_per_region: 5,
+            people: 4,
+            open_auctions: 3,
+            closed_auctions: 2,
+            ..Default::default()
+        });
+        let t = &corpus.tree;
+        let labels: std::collections::BTreeSet<&str> =
+            t.ids().map(|i| t.label(i)).collect();
+        for l in ["regions", "asia", "item", "people", "person", "open_auctions", "bidder", "closed_auctions"] {
+            assert!(labels.contains(l), "missing {l}");
+        }
+        let stats = TreeStats::compute(t);
+        assert!(stats.max_depth >= 6, "XMark shape is deeper than DBLP");
+        assert_eq!(corpus.descriptions.len(), 20);
+        for &d in &corpus.descriptions {
+            assert_eq!(t.depth(d), 6); // site/regions/region/item/description/text
+        }
+    }
+
+    #[test]
+    fn planting_into_descriptions() {
+        let corpus = generate(&XmarkConfig {
+            items_per_region: 10,
+            planted: vec![PlantedTerm::new("auctionterm", 15)],
+            ..Default::default()
+        });
+        let n = corpus
+            .descriptions
+            .iter()
+            .filter(|&&d| corpus.tree.text(d).split_whitespace().any(|w| w == "auctionterm"))
+            .count();
+        assert_eq!(n, 15);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = XmarkConfig { items_per_region: 3, people: 3, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.tree.len(), b.tree.len());
+    }
+}

@@ -1,0 +1,94 @@
+//! Zipf-distributed sampling for the background vocabulary.
+//!
+//! Real term-frequency distributions are heavy-tailed; the paper's random
+//! query selection "within each frequency range" presupposes exactly such
+//! a spread.  This is a classical inverse-CDF Zipf sampler with a
+//! precomputed cumulative table (exact, not the rejection approximation —
+//! vocabulary sizes here are small enough that the table wins).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler; `n >= 1`, `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "empty support");
+        assert!(s > 0.0, "exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` iff the support is empty (never: `new` requires `n >= 1`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (rank 0 is the most frequent).
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+        // Rough Zipf shape: rank 0 ≈ 2^1.1 × rank 1... just check a 1.5x gap.
+        assert!(counts[0] as f64 > 1.5 * counts[1] as f64);
+    }
+
+    #[test]
+    fn all_ranks_reachable() {
+        let z = Zipf::new(5, 0.8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_support_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,432 @@
+//! Building the unified index.
+//!
+//! One pass over the tree tokenizes every node's direct text and produces,
+//! per distinct term, all physical structures the four systems under
+//! evaluation need:
+//!
+//! * `postings` — node ids in document order (the Dewey inverted list; node
+//!   id order equals Dewey order because the arena is in pre-order),
+//! * `scores` — normalized tf–idf local scores `g(v, w)`,
+//! * `columns` — the JDewey column-per-level run representation (§III),
+//! * `segments` — the score-sorted length groups of Fig. 7 (§IV),
+//! * `score_rows` — the full score-descending permutation RDIL scans.
+
+use crate::columnar::{build_columns, Column};
+use crate::histogram::{Histogram, HISTOGRAM_MIN_ROWS};
+use crate::score::{Damping, TfIdf};
+use crate::scored::{build_segments, score_order, Segment};
+use crate::text::token_counts;
+use std::collections::HashMap;
+use xtk_xml::dewey::DeweyIndex;
+use xtk_xml::jdewey::JDeweyAssignment;
+use xtk_xml::tree::{NodeId, XmlTree};
+
+/// Deterministic per-node "global importance" in `[0.7, 1.0)` — a
+/// splitmix64 hash of the node id, standing in for the link-based node
+/// score real systems would mix into `g(v, w)` (paper §II-B).
+pub fn node_quality(node: NodeId) -> f32 {
+    let mut z = node.0 as u64 ^ 0x9E3779B97F4A7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    0.7 + 0.3 * ((z >> 40) as f32 / (1u64 << 24) as f32)
+}
+
+/// Identifier of a term in the index vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+/// All physical index structures for one term.
+#[derive(Debug, Clone)]
+pub struct TermData {
+    /// The term text.
+    pub term: Box<str>,
+    /// Nodes directly containing the term, in document order.
+    pub postings: Vec<NodeId>,
+    /// Local score `g(v, w)` per posting (aligned with `postings`).
+    pub scores: Vec<f32>,
+    /// JDewey columns (index 0 = level 1); `columns.len()` = max depth of
+    /// any posting (`l_m` in the paper).
+    pub columns: Vec<Column>,
+    /// Score-sorted length groups (top-K join input).
+    pub segments: Vec<Segment>,
+    /// Full score-descending row permutation (RDIL input).
+    pub score_rows: Vec<u32>,
+    /// Per-level value histograms for cardinality estimation (§V-D);
+    /// `None` for levels whose column is short enough to probe directly.
+    pub histograms: Vec<Option<Histogram>>,
+}
+
+impl TermData {
+    /// Posting-list length (the term's frequency in the corpus).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// `true` iff the term has no postings (cannot happen for indexed
+    /// terms but keeps clippy's `len_without_is_empty` honest).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Maximum JDewey sequence length over the postings (`l_m`).
+    #[inline]
+    pub fn max_len(&self) -> u16 {
+        self.columns.len() as u16
+    }
+}
+
+/// The local scoring function `g(v, w)` (paper §II-B: "the function g can
+/// take multiple factors into account ... and combine them in an
+/// arbitrary way" — the algorithms only need monotonicity of the
+/// combiner).  All variants produce scores in `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalScorer {
+    /// Normalized tf–idf times the per-node importance factor
+    /// [`node_quality`] — the default, closest to a deployed ranker.
+    #[default]
+    TfIdfQuality,
+    /// Pure normalized tf–idf (deterministic given tf/df only); useful for
+    /// tests that reason about exact score values.
+    TfIdf,
+    /// Every occurrence scores 1.0 — degenerates ranking to "fewest damped
+    /// levels win"; exercises tie handling in the top-K machinery.
+    Uniform,
+}
+
+/// Options for [`XmlIndex::build_with`].
+#[derive(Debug, Clone)]
+pub struct IndexOptions {
+    /// Damping function for score propagation (default λ = 0.9).
+    pub damping: Damping,
+    /// JDewey reservation gap (spare numbers per parent; default 0 —
+    /// static corpora need no reserve and Table I reports it separately).
+    pub jdewey_gap: u32,
+    /// The local scoring function `g(v, w)`.
+    pub scorer: LocalScorer,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        Self { damping: Damping::paper_default(), jdewey_gap: 0, scorer: LocalScorer::default() }
+    }
+}
+
+/// The unified in-memory index over one XML document.
+///
+/// Owns the tree plus the Dewey and JDewey encodings, the vocabulary, and
+/// per-term physical structures for all four evaluated systems.
+#[derive(Debug)]
+pub struct XmlIndex {
+    tree: XmlTree,
+    dewey: DeweyIndex,
+    jd: JDeweyAssignment,
+    damping: Damping,
+    vocab: HashMap<Box<str>, TermId>,
+    terms: Vec<TermData>,
+    /// `subtree_size[i]` = number of nodes in the subtree rooted at node
+    /// `i` (inclusive).  Because the arena is pre-order, the subtree of `v`
+    /// is exactly the id range `[v, v + subtree_size[v])`.
+    subtree_size: Vec<u32>,
+    /// Number of nodes with non-empty direct text ("documents" for idf).
+    n_docs: u64,
+}
+
+impl XmlIndex {
+    /// Builds the index with default options.
+    pub fn build(tree: XmlTree) -> Self {
+        Self::build_with(tree, IndexOptions::default())
+    }
+
+    /// Builds the index with explicit options.
+    pub fn build_with(tree: XmlTree, opts: IndexOptions) -> Self {
+        let dewey = DeweyIndex::build(&tree);
+        let jd = JDeweyAssignment::assign(&tree, opts.jdewey_gap);
+
+        // Pass 1: postings with term frequencies.
+        let mut vocab: HashMap<Box<str>, TermId> = HashMap::new();
+        let mut raw: Vec<(Vec<NodeId>, Vec<u32>)> = Vec::new();
+        let mut names: Vec<Box<str>> = Vec::new();
+        let mut n_docs = 0u64;
+        for id in tree.ids() {
+            let text = tree.text(id);
+            if text.is_empty() {
+                continue;
+            }
+            n_docs += 1;
+            for (tok, tf) in token_counts(text) {
+                let tid = *vocab.entry(tok.clone().into_boxed_str()).or_insert_with(|| {
+                    raw.push((Vec::new(), Vec::new()));
+                    names.push(tok.into_boxed_str());
+                    TermId(raw.len() as u32 - 1)
+                });
+                let (posts, tfs) = &mut raw[tid.0 as usize];
+                posts.push(id);
+                tfs.push(tf);
+            }
+        }
+
+        // Pass 2: tf-idf scores, normalized into (0, 1] by the global max.
+        let model = TfIdf { n_docs: n_docs.max(1) };
+        let mut all_scores: Vec<Vec<f64>> = Vec::with_capacity(raw.len());
+        let mut max_raw = f64::MIN_POSITIVE;
+        for (posts, tfs) in &raw {
+            let df = posts.len() as u64;
+            let scores: Vec<f64> = tfs.iter().map(|&tf| model.raw(tf, df)).collect();
+            for &s in &scores {
+                max_raw = max_raw.max(s);
+            }
+            all_scores.push(scores);
+        }
+
+        // Pass 3: physical structures per term.  The local score combines
+        // the normalized tf-idf with a per-node "global importance" factor
+        // (the paper's g may mix IR scores with link-based node scores);
+        // a deterministic hash stands in for PageRank-style importance and
+        // keeps scores spread out — without it, planted tf=1 terms would
+        // all tie and every top-K threshold would be degenerate.
+        let mut terms = Vec::with_capacity(raw.len());
+        for (i, (postings, _tfs)) in raw.into_iter().enumerate() {
+            let scores: Vec<f32> = all_scores[i]
+                .iter()
+                .zip(&postings)
+                .map(|(&s, &node)| match opts.scorer {
+                    LocalScorer::TfIdfQuality => (s / max_raw) as f32 * node_quality(node),
+                    LocalScorer::TfIdf => (s / max_raw) as f32,
+                    LocalScorer::Uniform => 1.0,
+                })
+                .collect();
+            let columns = build_columns(&tree, &jd, &postings);
+            let segments = build_segments(&tree, &postings, &scores);
+            let score_rows = score_order(&scores);
+            let histograms = columns
+                .iter()
+                .map(|c| {
+                    if c.row_count() >= HISTOGRAM_MIN_ROWS {
+                        Histogram::build(c)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            terms.push(TermData {
+                term: std::mem::take(&mut names[i]),
+                postings,
+                scores,
+                columns,
+                segments,
+                score_rows,
+                histograms,
+            });
+        }
+
+        // Subtree sizes from a reverse pass (children have larger ids).
+        let mut subtree_size = vec![1u32; tree.len()];
+        for i in (0..tree.len()).rev() {
+            let id = NodeId(i as u32);
+            if let Some(p) = tree.parent(id) {
+                subtree_size[p.index()] += subtree_size[i];
+            }
+        }
+
+        Self { tree, dewey, jd, damping: opts.damping, vocab, terms, subtree_size, n_docs }
+    }
+
+    /// The indexed tree.
+    #[inline]
+    pub fn tree(&self) -> &XmlTree {
+        &self.tree
+    }
+
+    /// Dewey ids of every node.
+    #[inline]
+    pub fn dewey(&self) -> &DeweyIndex {
+        &self.dewey
+    }
+
+    /// The JDewey assignment.
+    #[inline]
+    pub fn jd(&self) -> &JDeweyAssignment {
+        &self.jd
+    }
+
+    /// The damping function used when propagating scores.
+    #[inline]
+    pub fn damping(&self) -> &Damping {
+        &self.damping
+    }
+
+    /// Number of "documents" (nodes with direct text).
+    #[inline]
+    pub fn doc_count(&self) -> u64 {
+        self.n_docs
+    }
+
+    /// Number of distinct terms.
+    #[inline]
+    pub fn vocab_size(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Looks a term up in the vocabulary (terms are stored lowercased).
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        if term.chars().any(|c| c.is_uppercase()) {
+            self.vocab.get(term.to_lowercase().as_str()).copied()
+        } else {
+            self.vocab.get(term).copied()
+        }
+    }
+
+    /// The physical structures of a term.
+    #[inline]
+    pub fn term(&self, id: TermId) -> &TermData {
+        &self.terms[id.0 as usize]
+    }
+
+    /// Convenience: term data by string, if indexed.
+    pub fn term_by_str(&self, term: &str) -> Option<&TermData> {
+        self.term_id(term).map(|t| self.term(t))
+    }
+
+    /// Iterates over all `(TermId, TermData)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (TermId, &TermData)> {
+        self.terms.iter().enumerate().map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// The arena id range `[v, end)` covered by the subtree of `v`.
+    /// Valid because the arena is in pre-order.
+    pub fn subtree_range(&self, v: NodeId) -> std::ops::Range<NodeId> {
+        let end = v.0 + self.subtree_size[v.index()];
+        v..NodeId(end)
+    }
+
+    /// Resolves a `(level, JDewey number)` pair to its node.
+    #[inline]
+    pub fn node_at(&self, level: u16, number: u32) -> Option<NodeId> {
+        self.jd.node_at(level, number)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtk_xml::parse;
+
+    fn index(xml: &str) -> XmlIndex {
+        XmlIndex::build(parse(xml).unwrap())
+    }
+
+    #[test]
+    fn vocabulary_and_postings() {
+        let ix = index("<r><a>xml data</a><b>xml</b><c>keyword search</c></r>");
+        assert_eq!(ix.vocab_size(), 4);
+        let xml = ix.term_by_str("xml").unwrap();
+        assert_eq!(xml.len(), 2);
+        assert_eq!(ix.term_by_str("data").unwrap().len(), 1);
+        assert!(ix.term_by_str("missing").is_none());
+        // Case-insensitive lookup.
+        assert!(ix.term_id("XML").is_some());
+    }
+
+    #[test]
+    fn postings_in_document_order() {
+        let ix = index("<r><a>w</a><b><c>w</c></b><d>w</d></r>");
+        let t = ix.term_by_str("w").unwrap();
+        let mut sorted = t.postings.clone();
+        sorted.sort();
+        assert_eq!(t.postings, sorted);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn scores_are_normalized_and_positive() {
+        let ix = index("<r><a>rare</a><b>common common</b><c>common</c></r>");
+        for (_, t) in ix.terms() {
+            for &s in &t.scores {
+                assert!(s > 0.0 && s <= 1.0, "score {s} out of range");
+            }
+        }
+        // A rarer term outscores a more common one at equal tf.
+        let rare = ix.term_by_str("rare").unwrap().scores[0];
+        let common = ix.term_by_str("common").unwrap().scores[1]; // tf=1 occurrence
+        assert!(rare > common);
+        // Higher tf outscores lower tf for the same term.
+        let t = ix.term_by_str("common").unwrap();
+        assert!(t.scores[0] > t.scores[1]);
+    }
+
+    #[test]
+    fn columns_match_posting_depths() {
+        let ix = index("<r><a><p>deep</p></a><b>deep</b></r>");
+        let t = ix.term_by_str("deep").unwrap();
+        assert_eq!(t.max_len(), 3);
+        assert_eq!(t.columns[0].row_count(), 2); // both under root
+        assert_eq!(t.columns[2].row_count(), 1); // only the level-3 posting
+    }
+
+    #[test]
+    fn segments_and_score_rows_are_consistent() {
+        let ix = index("<r><a>w</a><b><c>w</c></b><d>w w w</d></r>");
+        let t = ix.term_by_str("w").unwrap();
+        let seg_rows: usize = t.segments.iter().map(|s| s.rows.len()).sum();
+        assert_eq!(seg_rows, t.len());
+        assert_eq!(t.score_rows.len(), t.len());
+        // score_rows is score-descending.
+        for w in t.score_rows.windows(2) {
+            assert!(t.scores[w[0] as usize] >= t.scores[w[1] as usize]);
+        }
+    }
+
+    #[test]
+    fn subtree_ranges_cover_descendants() {
+        let ix = index("<r><a><p>x</p><q>x</q></a><b>x</b></r>");
+        let tree = ix.tree();
+        let a = tree.children(tree.root())[0];
+        let range = ix.subtree_range(a);
+        let members: Vec<NodeId> = tree.descendants_or_self(a).collect();
+        for m in &members {
+            assert!(range.contains(m));
+        }
+        assert_eq!(range.end.0 - range.start.0, members.len() as u32);
+    }
+
+    #[test]
+    fn doc_count_counts_text_nodes() {
+        let ix = index("<r><a>x</a><b/><c>y</c></r>");
+        assert_eq!(ix.doc_count(), 2);
+    }
+
+    #[test]
+    fn attribute_text_is_indexed() {
+        let ix = index(r#"<r><paper year="2010">xml</paper></r>"#);
+        assert!(ix.term_by_str("2010").is_some());
+        assert!(ix.term_by_str("xml").is_some());
+    }
+
+    #[test]
+    fn scorer_variants_produce_expected_ranges() {
+        use crate::score::Damping;
+        let tree = parse("<r><a>x x y</a><b>x</b></r>").unwrap();
+        for scorer in [LocalScorer::TfIdfQuality, LocalScorer::TfIdf, LocalScorer::Uniform] {
+            let ix = XmlIndex::build_with(
+                tree.clone(),
+                IndexOptions { damping: Damping::paper_default(), jdewey_gap: 0, scorer },
+            );
+            for (_, t) in ix.terms() {
+                for &s in &t.scores {
+                    assert!(s > 0.0 && s <= 1.0, "{scorer:?}: {s}");
+                }
+            }
+            if scorer == LocalScorer::Uniform {
+                assert!(ix.term_by_str("x").unwrap().scores.iter().all(|&s| s == 1.0));
+            }
+            if scorer == LocalScorer::TfIdf {
+                // tf=2 occurrence outscores tf=1 deterministically.
+                let x = ix.term_by_str("x").unwrap();
+                assert!(x.scores[0] > x.scores[1]);
+            }
+        }
+    }
+}

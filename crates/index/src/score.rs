@@ -1,0 +1,146 @@
+//! Ranking model (paper §II-B).
+//!
+//! Individual nodes directly containing keywords are treated as
+//! "documents": each `(node, keyword)` occurrence gets a **local score**
+//! `g(v, w)` — here a tf–idf score normalized into `(0, 1]`.  When the
+//! occurrence is propagated up to its ELCA/SLCA `u`, the score is damped by
+//! `d(l_v - l_u)`, a decreasing function of the vertical distance (we use
+//! `d(Δl) = λ^Δl`, the paper's running example uses `λ = 0.9`).  The
+//! combining function `F` is the **sum** over keywords of the per-keyword
+//! **maximum** damped occurrence score — monotone in each input, which is
+//! the property all the top-K machinery relies on.
+
+/// Exponential damping `d(Δl) = λ^Δl` with `0 < λ <= 1`.
+///
+/// A precomputed power table makes `factor` a lookup for any realistic
+/// tree depth.
+#[derive(Debug, Clone)]
+pub struct Damping {
+    lambda: f32,
+    powers: Vec<f32>,
+}
+
+/// Depths beyond the precomputed table fall back to `powf`; 64 levels is
+/// far deeper than any XML corpus in the paper.
+const POWER_TABLE: usize = 64;
+
+impl Damping {
+    /// Creates the damping function `d(Δl) = lambda^Δl`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lambda <= 1` (a damping factor must decrease).
+    pub fn new(lambda: f32) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0, "damping λ must be in (0, 1], got {lambda}");
+        let mut powers = Vec::with_capacity(POWER_TABLE);
+        let mut p = 1.0f32;
+        for _ in 0..POWER_TABLE {
+            powers.push(p);
+            p *= lambda;
+        }
+        Self { lambda, powers }
+    }
+
+    /// The paper's running choice, `λ = 0.9`.
+    pub fn paper_default() -> Self {
+        Self::new(0.9)
+    }
+
+    /// The damping base λ.
+    #[inline]
+    pub fn lambda(&self) -> f32 {
+        self.lambda
+    }
+
+    /// `d(Δl) = λ^Δl`.
+    #[inline]
+    pub fn factor(&self, delta_levels: u16) -> f32 {
+        match self.powers.get(delta_levels as usize) {
+            Some(&p) => p,
+            None => self.lambda.powi(delta_levels as i32),
+        }
+    }
+
+    /// Damps a local score for an occurrence at depth `occ_depth` whose
+    /// ELCA/SLCA sits at depth `anc_depth` (`anc_depth <= occ_depth`).
+    #[inline]
+    pub fn damp(&self, local: f32, occ_depth: u16, anc_depth: u16) -> f32 {
+        debug_assert!(anc_depth <= occ_depth);
+        local * self.factor(occ_depth - anc_depth)
+    }
+}
+
+impl Default for Damping {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// tf–idf local scoring, normalized so every score lies in `(0, 1]`.
+///
+/// `raw = (1 + ln tf) * ln(1 + N / df)` where `N` is the number of nodes
+/// with any text and `df` the keyword's posting-list length; the builder
+/// divides by the corpus-wide maximum raw score.
+#[derive(Debug, Clone, Copy)]
+pub struct TfIdf {
+    /// Number of "documents" (nodes with direct text) in the corpus.
+    pub n_docs: u64,
+}
+
+impl TfIdf {
+    /// Raw (unnormalized) score for an occurrence with term frequency `tf`
+    /// in a list of document frequency `df`.
+    pub fn raw(&self, tf: u32, df: u64) -> f64 {
+        debug_assert!(tf >= 1 && df >= 1);
+        let tf_part = 1.0 + (tf as f64).ln();
+        let idf_part = (1.0 + self.n_docs as f64 / df as f64).ln();
+        tf_part * idf_part
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn damping_is_exponential() {
+        let d = Damping::new(0.9);
+        assert!((d.factor(0) - 1.0).abs() < 1e-6);
+        assert!((d.factor(1) - 0.9).abs() < 1e-6);
+        assert!((d.factor(3) - 0.9f32.powi(3)).abs() < 1e-6);
+        // Beyond the table: still correct.
+        assert!((d.factor(100) - 0.9f32.powi(100)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn damp_applies_depth_difference() {
+        let d = Damping::new(0.5);
+        assert!((d.damp(0.8, 5, 3) - 0.2).abs() < 1e-6);
+        assert!((d.damp(0.8, 3, 3) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda_one_means_no_damping() {
+        let d = Damping::new(1.0);
+        assert_eq!(d.factor(10), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lambda_rejected() {
+        let _ = Damping::new(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn large_lambda_rejected() {
+        let _ = Damping::new(1.5);
+    }
+
+    #[test]
+    fn tfidf_monotone_in_tf_and_rarity() {
+        let m = TfIdf { n_docs: 1000 };
+        assert!(m.raw(2, 10) > m.raw(1, 10), "higher tf scores higher");
+        assert!(m.raw(1, 10) > m.raw(1, 100), "rarer term scores higher");
+        assert!(m.raw(1, 1000) > 0.0);
+    }
+}

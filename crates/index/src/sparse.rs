@@ -1,0 +1,89 @@
+//! Sparse per-column indices (paper §III-C, §V-A).
+//!
+//! Columns are sorted, so "conceptually no additional indices are
+//! required" — but locating a JDewey number inside a multi-block column
+//! should not scan every block.  The sparse index keeps one `(first value,
+//! block)` entry per 4 KiB block; the index join binary-searches it and
+//! then decodes at most one block.  Table I reports its size separately
+//! ("sparse"), which is why it is its own structure rather than part of
+//! the codec.
+
+use crate::codec::CompressedColumn;
+
+/// Sparse index over one compressed column: one entry per block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseIndex {
+    /// First value of each block, in block order (sorted, since the column
+    /// is sorted).
+    firsts: Vec<u32>,
+}
+
+/// On-disk bytes per sparse entry: u32 first-value + u32 block offset.
+pub const SPARSE_ENTRY_BYTES: usize = 8;
+
+impl SparseIndex {
+    /// Builds the sparse index for a compressed column.
+    pub fn build(cc: &CompressedColumn) -> Self {
+        Self { firsts: cc.block_first_values.clone() }
+    }
+
+    /// The block that could contain `value` (the last block whose first
+    /// value is `<= value`), or `None` when `value` sorts before every
+    /// block.
+    pub fn block_for(&self, value: u32) -> Option<usize> {
+        let idx = self.firsts.partition_point(|&f| f <= value);
+        idx.checked_sub(1)
+    }
+
+    /// Number of entries (== number of blocks).
+    pub fn len(&self) -> usize {
+        self.firsts.len()
+    }
+
+    /// `true` when the column has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.firsts.is_empty()
+    }
+
+    /// On-disk size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.firsts.len() * SPARSE_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{encode_column, Scheme};
+    use crate::columnar::{Column, Run};
+
+    #[test]
+    fn block_lookup() {
+        let runs: Vec<Run> =
+            (0..30_000).map(|i| Run { value: i * 2, start: i, len: 1 }).collect();
+        let cc = encode_column(&Column { runs }, Scheme::Delta);
+        let sx = SparseIndex::build(&cc);
+        assert!(sx.len() > 1);
+        assert_eq!(sx.size_bytes(), sx.len() * SPARSE_ENTRY_BYTES);
+        // A value before the first block has no candidate block.
+        assert!(cc.block_first_values[0] == 0);
+        assert_eq!(sx.block_for(0), Some(0));
+        // A mid value maps to a block whose first value precedes it and
+        // whose successor's first value exceeds it.
+        let b = sx.block_for(31_111).unwrap();
+        assert!(cc.block_first_values[b] <= 31_111);
+        if b + 1 < sx.len() {
+            assert!(cc.block_first_values[b + 1] > 31_111);
+        }
+        // Beyond the last value: still the last block.
+        assert_eq!(sx.block_for(u32::MAX), Some(sx.len() - 1));
+    }
+
+    #[test]
+    fn empty_column_sparse() {
+        let cc = encode_column(&Column { runs: vec![] }, Scheme::Rle);
+        let sx = SparseIndex::build(&cc);
+        assert!(sx.is_empty());
+        assert_eq!(sx.block_for(5), None);
+    }
+}

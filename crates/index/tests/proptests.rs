@@ -1,0 +1,200 @@
+//! Property-based tests for the physical index layer: columnar invariants
+//! on random trees, codec round-trips on random run shapes, sparse-index
+//! consistency, and builder/posting invariants.
+
+use proptest::prelude::*;
+use xtk_index::codec::{choose_scheme, decode_column, encode_column, Scheme};
+use xtk_index::columnar::{Column, Run};
+use xtk_index::sparse::SparseIndex;
+use xtk_index::XmlIndex;
+use xtk_xml::tree::{NodeId, XmlTree};
+
+/// Builds a random pre-order tree with random text placements.
+fn build_tree(shape: &[usize], texts: &[(usize, u8)]) -> XmlTree {
+    let n = shape.len() + 1;
+    let mut parents = vec![usize::MAX; n];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &c) in shape.iter().enumerate() {
+        let p = c % (i + 1);
+        parents[i + 1] = p;
+        children[p].push(i + 1);
+    }
+    let mut tree = XmlTree::with_capacity(n);
+    let mut map = vec![NodeId(0); n];
+    map[0] = tree.add_root("n0");
+    let mut stack: Vec<usize> = children[0].iter().rev().copied().collect();
+    while let Some(v) = stack.pop() {
+        map[v] = tree.add_child(map[parents[v]], format!("n{v}"));
+        for &c in children[v].iter().rev() {
+            stack.push(c);
+        }
+    }
+    for &(node, word) in texts {
+        tree.append_text(map[node % n], &format!("t{}", word % 6));
+    }
+    tree
+}
+
+/// Random well-formed column: sorted distinct values, contiguous-or-gapped
+/// rows.
+fn column_strategy() -> impl Strategy<Value = Column> {
+    prop::collection::vec((1u32..5000, 1u32..20, 0u32..3), 0..200).prop_map(|spec| {
+        let mut runs = Vec::new();
+        let mut value = 0u32;
+        let mut row = 0u32;
+        for (vdelta, len, gap) in spec {
+            value += vdelta;
+            row += gap; // gap = rows absent at this level
+            runs.push(Run { value, start: row, len });
+            row += len;
+        }
+        Column { runs }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn codec_roundtrip_both_schemes(col in column_strategy()) {
+        let present: Vec<u32> = col.runs.iter().flat_map(|r| r.rows()).collect();
+        for scheme in [Scheme::Delta, Scheme::Rle] {
+            let cc = encode_column(&col, scheme);
+            let back = decode_column(&cc, &present);
+            prop_assert_eq!(&back, &col, "{:?}", scheme);
+        }
+        // The adaptive choice also round-trips.
+        let cc = encode_column(&col, choose_scheme(&col));
+        prop_assert_eq!(decode_column(&cc, &present), col);
+    }
+
+    #[test]
+    fn sparse_index_locates_every_value(col in column_strategy()) {
+        let cc = encode_column(&col, Scheme::Delta);
+        let sx = SparseIndex::build(&cc);
+        prop_assert_eq!(sx.len(), cc.block_count());
+        for run in &col.runs {
+            let b = sx.block_for(run.value);
+            prop_assert!(b.is_some(), "value {} must map to a block", run.value);
+            let b = b.unwrap();
+            prop_assert!(cc.block_first_values[b] <= run.value);
+            if b + 1 < sx.len() {
+                prop_assert!(cc.block_first_values[b + 1] > run.value);
+            }
+        }
+    }
+
+    #[test]
+    fn columns_are_sorted_with_contiguous_runs(
+        shape in prop::collection::vec(0usize..10_000, 1..80),
+        texts in prop::collection::vec((0usize..10_000, 0u8..6), 1..120),
+    ) {
+        let ix = XmlIndex::build(build_tree(&shape, &texts));
+        for (_, term) in ix.terms() {
+            // Postings sorted (doc order).
+            prop_assert!(term.postings.windows(2).all(|w| w[0] < w[1]));
+            for (li, col) in term.columns.iter().enumerate() {
+                let level = (li + 1) as u16;
+                // Values strictly increase; rows never overlap.
+                for w in col.runs.windows(2) {
+                    prop_assert!(w[0].value < w[1].value, "level {level}");
+                    prop_assert!(w[0].end() <= w[1].start, "level {level}");
+                }
+                // Row count equals postings at >= level.
+                let expect = term
+                    .postings
+                    .iter()
+                    .filter(|&&n| ix.tree().depth(n) >= level)
+                    .count() as u64;
+                prop_assert_eq!(col.row_count(), expect);
+                // Every run's value resolves to a node at this level, and
+                // all rows in the run are descendants-or-self of it.
+                for run in &col.runs {
+                    let node = ix.node_at(level, run.value).expect("value resolves");
+                    for row in run.rows() {
+                        let p = term.postings[row as usize];
+                        prop_assert!(
+                            ix.tree().is_ancestor_or_self(node, p),
+                            "level {level} run {} row {row}",
+                            run.value
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_containment_across_adjacent_levels(
+        shape in prop::collection::vec(0usize..10_000, 1..80),
+        texts in prop::collection::vec((0usize..10_000, 0u8..4), 1..100),
+    ) {
+        // §III-E: a run at level l is contained in exactly one run at
+        // level l-1 (never partially overlapping).
+        let ix = XmlIndex::build(build_tree(&shape, &texts));
+        for (_, term) in ix.terms() {
+            for l in 2..=term.columns.len() {
+                let upper = &term.columns[l - 2];
+                let lower = &term.columns[l - 1];
+                for lr in &lower.runs {
+                    let covering: Vec<&Run> = upper
+                        .runs
+                        .iter()
+                        .filter(|ur| ur.start <= lr.start && lr.end() <= ur.end())
+                        .collect();
+                    prop_assert_eq!(
+                        covering.len(),
+                        1,
+                        "lower run {:?} at level {} not covered exactly once",
+                        lr,
+                        l
+                    );
+                    // And nothing partially overlaps.
+                    for ur in &upper.runs {
+                        let overlap = ur.start < lr.end() && lr.start < ur.end();
+                        let contains = ur.start <= lr.start && lr.end() <= ur.end();
+                        prop_assert!(!overlap || contains);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segments_partition_rows_in_score_order(
+        shape in prop::collection::vec(0usize..10_000, 1..60),
+        texts in prop::collection::vec((0usize..10_000, 0u8..4), 1..100),
+    ) {
+        let ix = XmlIndex::build(build_tree(&shape, &texts));
+        for (_, term) in ix.terms() {
+            let mut seen = vec![false; term.len()];
+            for seg in &term.segments {
+                let mut prev = f32::INFINITY;
+                for &row in &seg.rows {
+                    prop_assert!(!seen[row as usize], "row in two segments");
+                    seen[row as usize] = true;
+                    let depth = ix.tree().depth(term.postings[row as usize]);
+                    prop_assert_eq!(depth, seg.len, "segment groups one depth");
+                    let g = term.scores[row as usize];
+                    prop_assert!(g <= prev, "segment rows sorted by score desc");
+                    prev = g;
+                }
+                prop_assert!((seg.max_score
+                    - term.scores[seg.rows[0] as usize]).abs() < 1e-6);
+            }
+            prop_assert!(seen.iter().all(|&s| s), "segments cover all rows");
+        }
+    }
+
+    #[test]
+    fn value_of_row_agrees_with_runs(col in column_strategy()) {
+        for run in &col.runs {
+            for row in run.rows() {
+                prop_assert_eq!(col.value_of_row(row), Some(run.value));
+            }
+        }
+        // A row beyond all runs is absent.
+        let end = col.runs.last().map(|r| r.end()).unwrap_or(0);
+        prop_assert_eq!(col.value_of_row(end), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for XML parsing and tree manipulation.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = ParseError> = std::result::Result<T, E>;
+
+/// An error raised while parsing an XML document.
+///
+/// Carries the byte offset and (1-based) line/column of the offending input
+/// so callers can produce actionable diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes from the last newline).
+    pub column: u32,
+}
+
+/// The specific category of parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof(&'static str),
+    /// A character that is not legal at this position.
+    UnexpectedChar { expected: &'static str, found: char },
+    /// `</b>` closed an element opened as `<a>`.
+    MismatchedClose { open: String, close: String },
+    /// A close tag appeared with no open element.
+    UnbalancedClose(String),
+    /// Elements left open at end of input.
+    UnclosedElements(usize),
+    /// Text or markup found outside the single root element.
+    ContentOutsideRoot,
+    /// The document contains no root element at all.
+    NoRootElement,
+    /// An entity reference we do not recognise (only the five predefined
+    /// entities and numeric character references are supported).
+    UnknownEntity(String),
+    /// A numeric character reference did not denote a valid scalar value.
+    InvalidCharRef(String),
+    /// An attribute appeared twice on the same element.
+    DuplicateAttribute(String),
+    /// An element or attribute name was empty or started illegally.
+    InvalidName,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at line {}, column {}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof(what) => {
+                write!(f, "unexpected end of input while reading {what}")
+            }
+            ParseErrorKind::UnexpectedChar { expected, found } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            ParseErrorKind::MismatchedClose { open, close } => {
+                write!(f, "close tag </{close}> does not match open tag <{open}>")
+            }
+            ParseErrorKind::UnbalancedClose(name) => {
+                write!(f, "close tag </{name}> with no matching open tag")
+            }
+            ParseErrorKind::UnclosedElements(n) => {
+                write!(f, "{n} element(s) left unclosed at end of input")
+            }
+            ParseErrorKind::ContentOutsideRoot => write!(f, "content outside the root element"),
+            ParseErrorKind::NoRootElement => write!(f, "document contains no root element"),
+            ParseErrorKind::UnknownEntity(e) => write!(f, "unknown entity reference &{e};"),
+            ParseErrorKind::InvalidCharRef(e) => {
+                write!(f, "invalid character reference &#{e};")
+            }
+            ParseErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            ParseErrorKind::InvalidName => write!(f, "invalid element or attribute name"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An error raised by tree-maintenance operations (JDewey insertion etc.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintainError {
+    /// The reserved JDewey gap under this parent is exhausted; the caller
+    /// must re-encode a subtree (see [`crate::maintain`]).
+    GapExhausted {
+        /// Level (1-based, root = 1) at which no number was available.
+        level: u16,
+    },
+    /// Attempted to operate on a node that has been removed.
+    NodeRemoved,
+    /// Attempted to remove the root.
+    CannotRemoveRoot,
+}
+
+impl fmt::Display for MaintainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintainError::GapExhausted { level } => {
+                write!(f, "JDewey gap exhausted at level {level}; re-encode required")
+            }
+            MaintainError::NodeRemoved => write!(f, "node has been removed"),
+            MaintainError::CannotRemoveRoot => write!(f, "the root element cannot be removed"),
+        }
+    }
+}
+
+impl std::error::Error for MaintainError {}

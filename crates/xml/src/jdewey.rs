@@ -1,0 +1,364 @@
+//! The JDewey encoding (paper §III-A).
+//!
+//! Each node is assigned a **JDewey number** such that
+//!
+//! 1. the number is unique among all nodes at the same tree depth, and
+//! 2. numbers are *monotone in parent order*: for same-level nodes `v1`,
+//!    `v2`, if `v1`'s number is greater than `v2`'s, then every child of
+//!    `v1` has a greater number than every child of `v2`.
+//!
+//! The **JDewey sequence** of a node is the vector of JDewey numbers on the
+//! path from the root to the node.  Unlike a Dewey id — where only the whole
+//! vector identifies a node — a single `(level, number)` pair identifies a
+//! node, which is what lets inverted lists be stored *column per level* and
+//! lets LCA computation become an equality join on one column.
+//!
+//! The key algebraic fact is **Property 3.1**: if `S1 < S2` in JDewey-
+//! sequence order then `S1(i) <= S2(i)` for every common level `i`.  In
+//! consequence, an inverted list sorted by JDewey sequence has *every column
+//! individually sorted* — the precondition for the merge join, the sparse
+//! indices and the run-length compression in `xtk-index`.
+//!
+//! To support insertions (§III-A maintenance), the assignment can reserve a
+//! configurable number of spare numbers after each parent's block of
+//! children; see [`crate::maintain`].
+
+use crate::tree::{NodeId, XmlTree};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A JDewey sequence: the JDewey numbers on the path root → node.
+///
+/// Ordering is lexicographic, which by Property 3.1 coincides with the
+/// paper's definition (`S1 < S2` iff some `S1(j) < S2(j)`, or `S1` is a
+/// prefix of `S2`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct JSeq(pub Vec<u32>);
+
+impl JSeq {
+    /// The number at 1-based level `l`, if the sequence is that deep.
+    #[inline]
+    pub fn at(&self, level: u16) -> Option<u32> {
+        self.0.get(level as usize - 1).copied()
+    }
+
+    /// The length of the sequence = the depth of the node.
+    #[inline]
+    pub fn len(&self) -> u16 {
+        self.0.len() as u16
+    }
+
+    /// `true` for the (invalid) empty sequence.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw numbers root → node.
+    #[inline]
+    pub fn numbers(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Document/JDewey-order comparison (lexicographic).
+    #[inline]
+    pub fn seq_cmp(&self, other: &JSeq) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Display for JSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete JDewey numbering of a tree.
+///
+/// Produced by [`JDeweyAssignment::assign`]; kept up to date under
+/// insertions/removals by [`crate::maintain::JDeweyMaintainer`].
+#[derive(Debug, Clone)]
+pub struct JDeweyAssignment {
+    /// JDewey number of each node, indexed by `NodeId`.
+    numbers: Vec<u32>,
+    /// Nodes of each 1-based level in increasing JDewey-number order
+    /// (index 0 unused).
+    levels: Vec<Vec<NodeId>>,
+    /// Reservation gap used at assignment time (spare numbers after each
+    /// parent's children block).
+    gap: u32,
+}
+
+impl JDeweyAssignment {
+    /// Assigns JDewey numbers to every node of `tree`.
+    ///
+    /// `gap` spare numbers are reserved after each parent's block of
+    /// children (0 yields a dense numbering).  Numbers start at 1 at every
+    /// level, matching the paper's figures.
+    pub fn assign(tree: &XmlTree, gap: u32) -> Self {
+        let max_depth = tree.max_depth() as usize;
+        let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); max_depth + 1];
+        let mut numbers = vec![0u32; tree.len()];
+        if tree.is_empty() {
+            return Self { numbers, levels, gap };
+        }
+        numbers[tree.root().index()] = 1;
+        levels[1].push(tree.root());
+        // Level l+1 is the concatenation of children of level-l nodes taken
+        // in increasing-number order; numbering them sequentially (with the
+        // reservation gap after each parent) satisfies both requirements.
+        for l in 1..max_depth {
+            let mut next: u32 = 1;
+            // Split the borrow: parents at level l, children filled at l+1.
+            let (parents, rest) = levels.split_at_mut(l + 1);
+            let child_level = &mut rest[0];
+            for &p in &parents[l] {
+                for &c in tree.children(p) {
+                    numbers[c.index()] = next;
+                    next += 1;
+                    child_level.push(c);
+                }
+                next += gap;
+            }
+        }
+        Self { numbers, levels, gap }
+    }
+
+    /// The reservation gap this assignment was built with.
+    #[inline]
+    pub fn gap(&self) -> u32 {
+        self.gap
+    }
+
+    /// The JDewey number of `id`.
+    #[inline]
+    pub fn number(&self, id: NodeId) -> u32 {
+        self.numbers[id.index()]
+    }
+
+    /// The JDewey sequence of `id`, using `tree` for the parent chain.
+    pub fn seq_with(&self, tree: &XmlTree, id: NodeId) -> JSeq {
+        let mut v = Vec::with_capacity(tree.depth(id) as usize);
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            v.push(self.number(c));
+            cur = tree.parent(c);
+        }
+        v.reverse();
+        JSeq(v)
+    }
+
+    /// Looks up the node with JDewey number `n` at 1-based `level`.
+    ///
+    /// This is the `(i, S(i))` identification property of §III-A.
+    /// `O(log width(level))`.
+    pub fn node_at(&self, level: u16, n: u32) -> Option<NodeId> {
+        let lv = self.levels.get(level as usize)?;
+        lv.binary_search_by_key(&n, |&id| self.numbers[id.index()])
+            .ok()
+            .map(|pos| lv[pos])
+    }
+
+    /// Nodes of `level` in increasing JDewey-number order.
+    pub fn level(&self, level: u16) -> &[NodeId] {
+        self.levels
+            .get(level as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of levels (== max depth of the tree).
+    pub fn num_levels(&self) -> u16 {
+        (self.levels.len().saturating_sub(1)) as u16
+    }
+
+    /// The largest number currently used at `level` (0 if the level is
+    /// empty).  Used by partial re-encoding.
+    pub fn max_number_at(&self, level: u16) -> u32 {
+        self.levels
+            .get(level as usize)
+            .and_then(|lv| lv.last())
+            .map(|&id| self.numbers[id.index()])
+            .unwrap_or(0)
+    }
+
+    /// Verifies both JDewey requirements over the whole tree.
+    /// Intended for tests and debug assertions; `O(n)`.
+    pub fn validate(&self, tree: &XmlTree) -> std::result::Result<(), String> {
+        for (l, lv) in self.levels.iter().enumerate().skip(1) {
+            let mut prev: Option<(u32, NodeId)> = None;
+            for &id in lv {
+                if tree.depth(id) as usize != l {
+                    return Err(format!("{id} listed at level {l} but has depth {}", tree.depth(id)));
+                }
+                let n = self.numbers[id.index()];
+                if let Some((pn, pid)) = prev {
+                    if n <= pn {
+                        return Err(format!("level {l}: {id} number {n} <= predecessor {pid} number {pn}"));
+                    }
+                    // Requirement 2: parent order must agree with child order.
+                    if l > 1 {
+                        let pp = self.numbers[tree.parent(pid).unwrap().index()];
+                        let cp = self.numbers[tree.parent(id).unwrap().index()];
+                        if cp < pp {
+                            return Err(format!(
+                                "level {l}: children out of parent order ({pid}->{pp}, {id}->{cp})"
+                            ));
+                        }
+                    }
+                }
+                prev = Some((n, id));
+            }
+        }
+        Ok(())
+    }
+
+    // ----- mutation hooks used by `crate::maintain` -----
+
+    /// Registers a freshly added node with the given number at its level,
+    /// keeping the level list sorted.  Internal to the maintainer.
+    pub(crate) fn register(&mut self, tree: &XmlTree, id: NodeId, n: u32) {
+        let level = tree.depth(id) as usize;
+        if self.levels.len() <= level {
+            self.levels.resize(level + 1, Vec::new());
+        }
+        if self.numbers.len() <= id.index() {
+            self.numbers.resize(id.index() + 1, 0);
+        }
+        self.numbers[id.index()] = n;
+        let lv = &mut self.levels[level];
+        let pos = lv
+            .binary_search_by_key(&n, |&x| self.numbers[x.index()])
+            .unwrap_err();
+        lv.insert(pos, id);
+    }
+
+    /// Removes a node from its level list.  Internal to the maintainer.
+    pub(crate) fn unregister(&mut self, tree: &XmlTree, id: NodeId) {
+        let level = tree.depth(id) as usize;
+        if let Some(lv) = self.levels.get_mut(level) {
+            if let Some(pos) = lv.iter().position(|&x| x == id) {
+                lv.remove(pos);
+            }
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Figure 1 tree shape (labels approximate).
+    fn fig1_like() -> XmlTree {
+        let mut t = XmlTree::new();
+        let root = t.add_root("dblp");
+        let c1 = t.add_child(root, "conf");
+        let _y0 = t.add_child(c1, "year");
+        let y1 = t.add_child(c1, "year");
+        let p1 = t.add_child(y1, "paper");
+        let p2 = t.add_child(y1, "paper");
+        t.add_child(p1, "title");
+        t.add_child(p2, "title");
+        let c2 = t.add_child(root, "conf");
+        let y2 = t.add_child(c2, "year");
+        t.add_child(y2, "paper");
+        t
+    }
+
+    #[test]
+    fn dense_assignment_is_sequential_per_level() {
+        let t = fig1_like();
+        let jd = JDeweyAssignment::assign(&t, 0);
+        jd.validate(&t).unwrap();
+        // Level 2 has two conf nodes numbered 1, 2.
+        let l2: Vec<u32> = jd.level(2).iter().map(|&id| jd.number(id)).collect();
+        assert_eq!(l2, vec![1, 2]);
+        // Level 3: year, year, year => 1..3 dense.
+        let l3: Vec<u32> = jd.level(3).iter().map(|&id| jd.number(id)).collect();
+        assert_eq!(l3, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn gapped_assignment_reserves_space() {
+        let t = fig1_like();
+        let jd = JDeweyAssignment::assign(&t, 2);
+        jd.validate(&t).unwrap();
+        // conf1's children (2 years) get 1,2 then +2 gap; conf2's year gets 5.
+        let l3: Vec<u32> = jd.level(3).iter().map(|&id| jd.number(id)).collect();
+        assert_eq!(l3, vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn node_at_identifies_by_level_and_number() {
+        let t = fig1_like();
+        let jd = JDeweyAssignment::assign(&t, 3);
+        for id in t.ids() {
+            let level = t.depth(id);
+            let n = jd.number(id);
+            assert_eq!(jd.node_at(level, n), Some(id));
+        }
+        assert_eq!(jd.node_at(2, 999), None);
+        assert_eq!(jd.node_at(99, 1), None);
+    }
+
+    #[test]
+    fn sequences_walk_root_to_node() {
+        let t = fig1_like();
+        let jd = JDeweyAssignment::assign(&t, 0);
+        let deepest = NodeId(6); // first title
+        let s = jd.seq_with(&t, deepest);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.at(1), Some(1));
+        assert_eq!(s.at(6), None);
+    }
+
+    #[test]
+    fn property_3_1_holds() {
+        // For all node pairs: S1 < S2 implies columnwise <=.
+        let t = fig1_like();
+        let jd = JDeweyAssignment::assign(&t, 1);
+        let seqs: Vec<JSeq> = t.ids().map(|id| jd.seq_with(&t, id)).collect();
+        for s1 in &seqs {
+            for s2 in &seqs {
+                if s1 < s2 {
+                    let m = s1.len().min(s2.len());
+                    for i in 1..=m {
+                        assert!(
+                            s1.at(i).unwrap() <= s2.at(i).unwrap(),
+                            "property 3.1 violated: {s1} vs {s2} at {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jseq_order_matches_paper_definition() {
+        // prefix < extension
+        assert!(JSeq(vec![1, 2]) < JSeq(vec![1, 2, 1]));
+        // first smaller component decides
+        assert!(JSeq(vec![1, 2, 9]) < JSeq(vec![1, 3, 1]));
+        assert_eq!(JSeq(vec![1]).seq_cmp(&JSeq(vec![1])), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_is_dotted() {
+        assert_eq!(JSeq(vec![1, 3, 4]).to_string(), "1.3.4");
+    }
+
+    #[test]
+    fn empty_tree_assignment() {
+        let t = XmlTree::new();
+        let jd = JDeweyAssignment::assign(&t, 0);
+        assert_eq!(jd.num_levels(), 0);
+        assert_eq!(jd.level(1), &[]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Parser robustness: arbitrary input must never panic — either a tree
+//! comes back or a positioned `ParseError`.  Also: anything the writer
+//! emits must re-parse, and error positions must lie within the input.
+
+use proptest::prelude::*;
+use xtk_xml::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(input in ".{0,300}") {
+        match parse(&input) {
+            Ok(tree) => prop_assert!(tree.len() >= 1),
+            Err(e) => {
+                prop_assert!(e.offset <= input.len(), "offset {} > len {}", e.offset, input.len());
+                prop_assert!(e.line >= 1);
+                prop_assert!(e.column >= 1);
+                // Display must render without panicking.
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    #[test]
+    fn xmlish_strings_never_panic(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("</b>".to_string()),
+                Just("<c/>".to_string()),
+                Just("text".to_string()),
+                Just("&amp;".to_string()),
+                Just("&bogus;".to_string()),
+                Just("<!-- c -->".to_string()),
+                Just("<![CDATA[d]]>".to_string()),
+                Just("<?pi?>".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("&".to_string()),
+                Just("<!".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let input: String = parts.concat();
+        let _ = parse(&input); // must not panic
+    }
+
+    #[test]
+    fn parse_write_parse_is_stable(
+        labels in prop::collection::vec("[a-z]{1,6}", 1..10),
+        texts in prop::collection::vec("[a-zA-Z0-9 <>&\"']{0,16}", 1..10),
+    ) {
+        // Build a document programmatically, write it, parse it, write it
+        // again: the two serializations must be identical (fixpoint).
+        let mut tree = xtk_xml::XmlTree::new();
+        let root = tree.add_root("root");
+        let mut cur = root;
+        for (i, l) in labels.iter().enumerate() {
+            cur = if i % 3 == 0 { tree.add_child(root, l.as_str()) } else { tree.add_child(cur, l.as_str()) };
+            if let Some(t) = texts.get(i) {
+                let trimmed = t.trim();
+                if !trimmed.is_empty() {
+                    tree.append_text(cur, trimmed);
+                }
+            }
+        }
+        let once = xtk_xml::writer::write_document(&tree, Default::default());
+        let reparsed = parse(&once).expect("writer output parses");
+        let twice = xtk_xml::writer::write_document(&reparsed, Default::default());
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the XML substrate: random trees must satisfy
+//! the JDewey requirements and Property 3.1, Dewey/JDewey LCA computations
+//! must agree with the tree-walk LCA, and writer→parser must round-trip.
+
+use proptest::prelude::*;
+use xtk_xml::dewey::DeweyIndex;
+use xtk_xml::jdewey::JDeweyAssignment;
+use xtk_xml::maintain::JDeweyMaintainer;
+use xtk_xml::tree::{NodeId, XmlTree};
+use xtk_xml::writer::{write_document, WriteOptions};
+
+/// Builds a random tree from a shape vector: entry `i` attaches node `i+1`
+/// under node `choices[i] % (i+1)`.
+fn tree_from_shape(shape: &[usize]) -> XmlTree {
+    // Parent choices give an arbitrary tree, but the arena must stay in
+    // pre-order for doc-order-sensitive code; build via two passes.
+    let n = shape.len() + 1;
+    let mut parents = vec![usize::MAX; n];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &c) in shape.iter().enumerate() {
+        let p = c % (i + 1);
+        parents[i + 1] = p;
+        children[p].push(i + 1);
+    }
+    let mut tree = XmlTree::with_capacity(n);
+    let mut map = vec![NodeId(0); n];
+    map[0] = tree.add_root("n0");
+    let mut stack: Vec<usize> = children[0].iter().rev().copied().collect();
+    while let Some(v) = stack.pop() {
+        map[v] = tree.add_child(map[parents[v]], format!("n{v}"));
+        for &c in children[v].iter().rev() {
+            stack.push(c);
+        }
+    }
+    tree
+}
+
+fn shape_strategy(max: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..10_000, 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jdewey_requirements_hold(shape in shape_strategy(120), gap in 0u32..4) {
+        let tree = tree_from_shape(&shape);
+        let jd = JDeweyAssignment::assign(&tree, gap);
+        prop_assert!(jd.validate(&tree).is_ok());
+    }
+
+    #[test]
+    fn property_3_1_on_random_trees(shape in shape_strategy(80), gap in 0u32..4) {
+        let tree = tree_from_shape(&shape);
+        let jd = JDeweyAssignment::assign(&tree, gap);
+        let seqs: Vec<_> = tree.ids().map(|id| jd.seq_with(&tree, id)).collect();
+        for s1 in &seqs {
+            for s2 in &seqs {
+                if s1 < s2 {
+                    let m = s1.len().min(s2.len());
+                    for i in 1..=m {
+                        prop_assert!(s1.at(i).unwrap() <= s2.at(i).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jdewey_lca_agrees_with_tree(shape in shape_strategy(60)) {
+        // LCA via JDewey: largest i with S1(i) == S2(i), node = (i, value).
+        let tree = tree_from_shape(&shape);
+        let jd = JDeweyAssignment::assign(&tree, 2);
+        let ids: Vec<_> = tree.ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                let s1 = jd.seq_with(&tree, a);
+                let s2 = jd.seq_with(&tree, b);
+                let mut lca_level = 0u16;
+                let mut lca_num = 0u32;
+                for i in 1..=s1.len().min(s2.len()) {
+                    if s1.at(i) == s2.at(i) {
+                        lca_level = i;
+                        lca_num = s1.at(i).unwrap();
+                    } else {
+                        break;
+                    }
+                }
+                prop_assert!(lca_level >= 1, "all sequences share the root");
+                let via_jd = jd.node_at(lca_level, lca_num).unwrap();
+                prop_assert_eq!(via_jd, tree.lca(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn dewey_lca_agrees_with_tree(shape in shape_strategy(60)) {
+        let tree = tree_from_shape(&shape);
+        let dx = DeweyIndex::build(&tree);
+        let ids: Vec<_> = tree.ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                let lca = dx.dewey(a).lca(dx.dewey(b));
+                let expect = tree.lca(a, b);
+                prop_assert_eq!(&lca, dx.dewey(expect));
+            }
+        }
+    }
+
+    #[test]
+    fn dewey_order_is_document_order(shape in shape_strategy(120)) {
+        let tree = tree_from_shape(&shape);
+        let dx = DeweyIndex::build(&tree);
+        // Arena order is pre-order (doc order); Dewey order must match.
+        let mut prev = None;
+        for id in tree.ids() {
+            let d = dx.dewey(id);
+            if let Some(p) = prev {
+                prop_assert!(p < d.clone(), "dewey order must follow arena order");
+            }
+            prev = Some(d.clone());
+        }
+    }
+
+    #[test]
+    fn maintainer_insertions_preserve_invariants(
+        shape in shape_strategy(40),
+        inserts in prop::collection::vec((0usize..10_000, 0usize..10_000), 0..60),
+        gap in 0u32..3,
+    ) {
+        let tree = tree_from_shape(&shape);
+        let mut m = JDeweyMaintainer::new(tree, gap);
+        let mut live: Vec<NodeId> = m.tree().ids().collect();
+        for (which, action) in inserts {
+            let target = live[which % live.len()];
+            if m.is_removed(target) {
+                continue;
+            }
+            if action % 5 == 0 && m.tree().parent(target).is_some() {
+                m.remove_subtree(target).unwrap();
+            } else {
+                let id = m.insert_child_auto(target, "ins").unwrap();
+                live.push(id);
+            }
+            // Requirements over live nodes.
+            let jd = m.assignment();
+            for l in 1..=jd.num_levels() {
+                let lv = jd.level(l);
+                for w in lv.windows(2) {
+                    prop_assert!(jd.number(w[0]) < jd.number(w[1]));
+                    if l > 1 {
+                        let p0 = jd.number(m.tree().parent(w[0]).unwrap());
+                        let p1 = jd.number(m.tree().parent(w[1]).unwrap());
+                        prop_assert!(p0 <= p1);
+                    }
+                }
+            }
+        }
+        // Compaction produces a pre-order arena of exactly the live nodes.
+        let (compacted, _) = m.compact();
+        prop_assert_eq!(compacted.len(), m.live_count());
+    }
+
+    #[test]
+    fn writer_parser_roundtrip(shape in shape_strategy(50), texts in prop::collection::vec("[ -~]{0,12}", 0..50)) {
+        let mut tree = tree_from_shape(&shape);
+        let ids: Vec<_> = tree.ids().collect();
+        for (i, t) in texts.iter().enumerate() {
+            let trimmed = t.trim();
+            if !trimmed.is_empty() {
+                tree.append_text(ids[i % ids.len()], trimmed);
+            }
+        }
+        let xml = write_document(&tree, WriteOptions::default());
+        let back = xtk_xml::parse(&xml).unwrap();
+        prop_assert_eq!(back.len(), tree.len());
+        for (a, b) in tree.ids().zip(back.ids()) {
+            prop_assert_eq!(tree.label(a), back.label(b));
+            prop_assert_eq!(tree.depth(a), back.depth(b));
+            // Whitespace inside text can be normalised by the writer/parser
+            // pipeline; compare token streams.
+            let ta: Vec<&str> = tree.text(a).split_whitespace().collect();
+            let tb: Vec<&str> = back.text(b).split_whitespace().collect();
+            prop_assert_eq!(ta, tb);
+        }
+    }
+}

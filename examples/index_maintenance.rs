@@ -1,0 +1,58 @@
+//! JDewey maintenance (paper §III-A): reserved gaps, insertions,
+//! deletions, gap exhaustion and partial re-encoding — then rebuild the
+//! index from the maintained tree and query it.
+//!
+//! ```text
+//! cargo run --example index_maintenance
+//! ```
+
+use xtk::core::{Engine, Semantics};
+use xtk::xml::maintain::JDeweyMaintainer;
+use xtk::xml::parse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tree = parse(
+        "<dblp>\
+           <conf><year><paper><title>xml search</title></paper></year></conf>\
+           <conf><year><paper><title>top k join</title></paper></year></conf>\
+         </dblp>",
+    )?;
+
+    // Reserve 2 spare JDewey numbers after each parent's children block.
+    let mut m = JDeweyMaintainer::new(tree, 2);
+    let root = m.tree().root();
+    let conf1 = m.tree().children(root)[0];
+    let year1 = m.tree().children(conf1)[0];
+
+    // Insert papers until the reserved gap under year1 runs out; the
+    // maintainer then re-encodes the smallest safe subtree and continues.
+    println!("inserting 10 papers under the first year…");
+    for i in 0..10 {
+        let paper = m.insert_child_auto(year1, "paper")?;
+        let title = m.insert_child_auto(paper, "title")?;
+        m.tree_mut().append_text(title, &format!("incremental xml topic{i}"));
+    }
+    println!(
+        "done: {} live nodes, {} partial re-encodes touching {} nodes",
+        m.live_count(),
+        m.reencode_count,
+        m.reencoded_nodes
+    );
+    m.assignment().validate(m.tree()).expect("JDewey requirements hold");
+
+    // Remove one subtree; its numbers simply disappear.
+    let conf2 = m.tree().children(root)[1];
+    m.remove_subtree(conf2)?;
+    println!("removed the second conference; {} live nodes", m.live_count());
+
+    // Compact into a clean pre-order tree and index it.
+    let (compacted, _) = m.compact();
+    let engine = Engine::new(compacted);
+    let q = engine.query("incremental xml")?;
+    let hits = engine.search(&q, Semantics::Elca);
+    println!("\nquery {{incremental, xml}} after maintenance: {} results", hits.len());
+    for r in hits.iter().take(3) {
+        println!("  {}", engine.describe(r));
+    }
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! `xtk` — a small CLI for keyword search over an XML file.
+//!
+//! ```text
+//! xtk <file.xml> <keywords…> [--top K] [--slca] [--all] [--engine join|stack|indexed|rdil]
+//!
+//!   --top K     return the K best results (default: top 10)
+//!   --all       return the complete ranked result set
+//!   --slca      SLCA semantics instead of ELCA
+//!   --engine E  answer with a specific engine (complete set: join, stack,
+//!               indexed; top-K: join [star join] or rdil)
+//!   --explain   print the per-level join plan instead of results
+//!   --stats     print corpus and execution statistics
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! cargo run --release --bin xtk -- corpus.xml xml keyword search --top 5
+//! ```
+
+use std::process::exit;
+use xtk::core::engine::{Algorithm, Engine};
+use xtk::core::joinbased::JoinOptions;
+use xtk::core::query::Semantics;
+use xtk::core::result::sort_ranked;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xtk <file.xml> <keywords…> [--top K] [--all] [--slca] \
+         [--engine join|stack|indexed|rdil] [--stats]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let file = &args[0];
+    let mut keywords: Vec<String> = Vec::new();
+    let mut top: Option<usize> = None;
+    let mut all = false;
+    let mut slca = false;
+    let mut stats = false;
+    let mut explain = false;
+    let mut engine_name = "join".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                i += 1;
+                top = Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--all" => all = true,
+            "--slca" => slca = true,
+            "--stats" => stats = true,
+            "--explain" => explain = true,
+            "--engine" => {
+                i += 1;
+                engine_name = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            w if !w.starts_with("--") => keywords.push(w.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if keywords.is_empty() {
+        usage();
+    }
+
+    let xml = match std::fs::read_to_string(file) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("xtk: cannot read {file}: {e}");
+            exit(1);
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let engine = match Engine::from_xml(&xml) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("xtk: {e}");
+            exit(1);
+        }
+    };
+    let built = t0.elapsed();
+    if stats {
+        eprintln!(
+            "indexed {} nodes / {} terms in {:.2?}",
+            engine.tree().len(),
+            engine.index().vocab_size(),
+            built
+        );
+    }
+
+    let query = match engine.query(&keywords.join(" ")) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("xtk: {e}");
+            exit(1);
+        }
+    };
+    let semantics = if slca { Semantics::Slca } else { Semantics::Elca };
+
+    if explain {
+        let report = engine.explain(&query, &JoinOptions { semantics, ..Default::default() });
+        print!("{report}");
+        return;
+    }
+
+    let t0 = std::time::Instant::now();
+    let results = if all {
+        match engine_name.as_str() {
+            "join" => engine.search(&query, semantics),
+            "stack" => {
+                let mut rs = engine.search_unranked(&query, semantics, Algorithm::StackBased);
+                sort_ranked(&mut rs);
+                rs
+            }
+            "indexed" => {
+                let mut rs = engine.search_unranked(&query, semantics, Algorithm::IndexBased);
+                sort_ranked(&mut rs);
+                rs
+            }
+            _ => usage(),
+        }
+    } else {
+        let k = top.unwrap_or(10);
+        match engine_name.as_str() {
+            "join" => engine.top_k(&query, k, semantics),
+            "rdil" => engine.top_k_rdil(&query, k, semantics),
+            _ => usage(),
+        }
+    };
+    let elapsed = t0.elapsed();
+
+    for (rank, r) in results.iter().enumerate() {
+        println!("{:>3}. {}", rank + 1, engine.describe(r));
+    }
+    if stats {
+        eprintln!("{} result(s) in {:.2?}", results.len(), elapsed);
+    }
+}

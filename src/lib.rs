@@ -1,0 +1,24 @@
+//! # xtk — Top-K Keyword Search in XML Databases
+//!
+//! A from-scratch Rust implementation of *"Supporting Top-K Keyword Search
+//! in XML Databases"* (Liang Jeff Chen and Yannis Papakonstantinou,
+//! ICDE 2010): join-based ELCA/SLCA evaluation over column-oriented JDewey
+//! inverted lists, a top-K star join with a tightened unseen-result
+//! threshold, plus the stack-based, index-based and RDIL baselines the
+//! paper compares against.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`xml`] — XML parser, arena tree, Dewey and JDewey encodings.
+//! * [`index`] — tokenizer, scoring, columnar inverted lists, compression,
+//!   sparse indices, B-tree emulation, persistence.
+//! * [`core`] — the query engines (join-based, top-K, baselines).
+//! * [`datagen`] — DBLP-like / XMark-like corpus and workload generators.
+//!
+//! See the `examples/` directory for end-to-end usage and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction notes.
+
+pub use xtk_core as core;
+pub use xtk_datagen as datagen;
+pub use xtk_index as index;
+pub use xtk_xml as xml;
