@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 gate, fully offline: release build, workspace tests, clippy.
+# Run from the repo root.  Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline"
+cargo test -q --offline --workspace
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy --all-targets -- -D warnings"
+    cargo clippy --offline --workspace --all-targets -q -- -D warnings
+else
+    echo "== clippy not installed; skipping lint step (build+test still gate)"
+fi
+
+echo "== ci.sh: all green"

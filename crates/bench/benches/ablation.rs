@@ -1,19 +1,17 @@
-//! Criterion bench for the design-choice ablations DESIGN.md calls out:
-//! join-plan selection (§III-C), the tightened star-join threshold
-//! (§IV-B), the range-check pruning structures, and the compression
-//! codecs (§III-D).
+//! Bench for the design-choice ablations DESIGN.md calls out: join-plan
+//! selection (§III-C), the tightened star-join threshold (§IV-B), the
+//! range-check pruning structures, and the compression codecs (§III-D).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use xtk_bench::harness::Harness;
 use xtk_bench::{build_dblp, point_queries, Scale, LOW_FREQS};
 use xtk_core::joinbased::{join_search, JoinOptions, JoinPlan};
 use xtk_core::query::Query;
 use xtk_index::codec::{choose_scheme, decode_column, encode_column, Scheme};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ix = build_dblp(Scale::Small);
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(20);
+    let mut h = Harness::new("ablation");
 
     // Join plans.
     let queries: Vec<Query> = point_queries(Scale::Small, 3, LOW_FREQS[1], 8)
@@ -25,12 +23,10 @@ fn bench(c: &mut Criterion) {
         ("merge_only", JoinPlan::MergeOnly),
         ("index_only", JoinPlan::IndexOnly),
     ] {
-        g.bench_with_input(BenchmarkId::new("join_plan", name), &queries, |b, qs| {
-            b.iter(|| {
-                for q in qs {
-                    black_box(join_search(&ix, q, &JoinOptions { plan, ..Default::default() }));
-                }
-            })
+        h.bench(format!("join_plan/{name}"), || {
+            for q in &queries {
+                black_box(join_search(&ix, q, &JoinOptions { plan, ..Default::default() }));
+            }
         });
     }
 
@@ -42,28 +38,18 @@ fn bench(c: &mut Criterion) {
         }
         let present: Vec<u32> = col.runs.iter().flat_map(|r| r.rows()).collect();
         for scheme in [Scheme::Delta, Scheme::Rle] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("codec_encode_l{}", li + 1), format!("{scheme:?}")),
-                col,
-                |b, col| b.iter(|| black_box(encode_column(col, scheme))),
-            );
+            h.bench(format!("codec_encode_l{}/{scheme:?}", li + 1), || {
+                black_box(encode_column(col, scheme))
+            });
             let cc = encode_column(col, scheme);
-            g.bench_with_input(
-                BenchmarkId::new(format!("codec_decode_l{}", li + 1), format!("{scheme:?}")),
-                &cc,
-                |b, cc| b.iter(|| black_box(decode_column(cc, &present))),
-            );
+            h.bench(format!("codec_decode_l{}/{scheme:?}", li + 1), || {
+                black_box(decode_column(&cc, &present))
+            });
         }
         // And the adaptive choice.
-        g.bench_function(format!("codec_adaptive_l{}", li + 1), |b| {
-            b.iter(|| {
-                let s = choose_scheme(col);
-                black_box(encode_column(col, s))
-            })
+        h.bench(format!("codec_adaptive_l{}", li + 1), || {
+            let s = choose_scheme(col);
+            black_box(encode_column(col, s))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

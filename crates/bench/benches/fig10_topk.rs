@@ -1,9 +1,9 @@
-//! Criterion bench behind **Fig. 10**: top-10 processing — the join-based
-//! top-K algorithm vs the complete join (+sort) vs RDIL, on random
+//! Bench behind **Fig. 10**: top-10 processing — the join-based top-K
+//! algorithm vs the complete join (+sort) vs RDIL, on random
 //! low-correlation queries (a) and planted correlated queries (b/c).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use xtk_bench::harness::Harness;
 use xtk_bench::{build_dblp, correlated_groups, point_queries, Scale, LOW_FREQS};
 use xtk_core::baseline::rdil::{rdil_search, RdilOptions};
 use xtk_core::joinbased::{join_search, JoinOptions};
@@ -13,10 +13,9 @@ use xtk_core::topk::{topk_search, TopKOptions};
 
 const K: usize = 10;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ix = build_dblp(Scale::Small);
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(20);
+    let mut h = Harness::new("fig10");
 
     let mut workloads: Vec<(String, Vec<Query>)> = Vec::new();
     for &low in &[LOW_FREQS[0], LOW_FREQS[3]] {
@@ -33,37 +32,28 @@ fn bench(c: &mut Criterion) {
     workloads.push(("correlated".to_string(), correlated));
 
     for (tag, qs) in &workloads {
-        g.bench_with_input(BenchmarkId::new("topk_join", tag), qs, |b, qs| {
-            b.iter(|| {
-                for q in qs {
-                    black_box(topk_search(&ix, q, &TopKOptions { k: K, semantics: Semantics::Elca, ..Default::default() }));
-                }
-            })
+        h.bench(format!("topk_join/{tag}"), || {
+            for q in qs {
+                black_box(topk_search(
+                    &ix,
+                    q,
+                    &TopKOptions { k: K, semantics: Semantics::Elca, ..Default::default() },
+                ));
+            }
         });
-        g.bench_with_input(BenchmarkId::new("complete_join", tag), qs, |b, qs| {
-            b.iter(|| {
-                for q in qs {
-                    let (mut rs, _) = join_search(
-                        &ix,
-                        q,
-                        &JoinOptions { with_scores: true, ..Default::default() },
-                    );
-                    sort_ranked(&mut rs);
-                    rs.truncate(K);
-                    black_box(rs);
-                }
-            })
+        h.bench(format!("complete_join/{tag}"), || {
+            for q in qs {
+                let (mut rs, _) =
+                    join_search(&ix, q, &JoinOptions { with_scores: true, ..Default::default() });
+                sort_ranked(&mut rs);
+                rs.truncate(K);
+                black_box(rs);
+            }
         });
-        g.bench_with_input(BenchmarkId::new("rdil", tag), qs, |b, qs| {
-            b.iter(|| {
-                for q in qs {
-                    black_box(rdil_search(&ix, q, &RdilOptions { k: K, semantics: Semantics::Elca }));
-                }
-            })
+        h.bench(format!("rdil/{tag}"), || {
+            for q in qs {
+                black_box(rdil_search(&ix, q, &RdilOptions { k: K, semantics: Semantics::Elca }));
+            }
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

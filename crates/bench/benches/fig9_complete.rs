@@ -1,19 +1,18 @@
-//! Criterion bench behind **Fig. 9**: complete-result ELCA evaluation —
-//! join-based vs stack-based vs index-based, across the low-frequency
-//! sweep (a–d) and the equal-frequency setting (e–f).
+//! Bench behind **Fig. 9**: complete-result ELCA evaluation — join-based
+//! vs stack-based vs index-based, across the low-frequency sweep (a–d)
+//! and the equal-frequency setting (e–f).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use xtk_bench::harness::Harness;
 use xtk_bench::{build_dblp, equal_queries, point_queries, Scale, LOW_FREQS};
 use xtk_core::baseline::indexed::{indexed_search, IndexedOptions};
 use xtk_core::baseline::stack::{stack_search, StackOptions};
 use xtk_core::joinbased::{join_search, JoinOptions};
 use xtk_core::query::Query;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ix = build_dblp(Scale::Small);
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(20);
+    let mut h = Harness::new("fig9");
 
     for k in [2usize, 3] {
         for &low in &[LOW_FREQS[0], LOW_FREQS[3]] {
@@ -22,26 +21,20 @@ fn bench(c: &mut Criterion) {
                 .map(|w| Query::from_words(&ix, w).unwrap())
                 .collect();
             let tag = format!("k{k}_low{low}");
-            g.bench_with_input(BenchmarkId::new("join_based", &tag), &queries, |b, qs| {
-                b.iter(|| {
-                    for q in qs {
-                        black_box(join_search(&ix, q, &JoinOptions::default()));
-                    }
-                })
+            h.bench(format!("join_based/{tag}"), || {
+                for q in &queries {
+                    black_box(join_search(&ix, q, &JoinOptions::default()));
+                }
             });
-            g.bench_with_input(BenchmarkId::new("stack_based", &tag), &queries, |b, qs| {
-                b.iter(|| {
-                    for q in qs {
-                        black_box(stack_search(&ix, q, &StackOptions::default()));
-                    }
-                })
+            h.bench(format!("stack_based/{tag}"), || {
+                for q in &queries {
+                    black_box(stack_search(&ix, q, &StackOptions::default()));
+                }
             });
-            g.bench_with_input(BenchmarkId::new("index_based", &tag), &queries, |b, qs| {
-                b.iter(|| {
-                    for q in qs {
-                        black_box(indexed_search(&ix, q, &IndexedOptions::default()));
-                    }
-                })
+            h.bench(format!("index_based/{tag}"), || {
+                for q in &queries {
+                    black_box(indexed_search(&ix, q, &IndexedOptions::default()));
+                }
             });
         }
     }
@@ -51,22 +44,14 @@ fn bench(c: &mut Criterion) {
         .iter()
         .map(|w| Query::from_words(&ix, w).unwrap())
         .collect();
-    g.bench_function("join_based/equal_freq_k3", |b| {
-        b.iter(|| {
-            for q in &queries {
-                black_box(join_search(&ix, q, &JoinOptions::default()));
-            }
-        })
+    h.bench("join_based/equal_freq_k3", || {
+        for q in &queries {
+            black_box(join_search(&ix, q, &JoinOptions::default()));
+        }
     });
-    g.bench_function("stack_based/equal_freq_k3", |b| {
-        b.iter(|| {
-            for q in &queries {
-                black_box(stack_search(&ix, q, &StackOptions::default()));
-            }
-        })
+    h.bench("stack_based/equal_freq_k3", || {
+        for q in &queries {
+            black_box(stack_search(&ix, q, &StackOptions::default()));
+        }
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,14 +1,13 @@
-//! Criterion bench for JDewey maintenance (§III-A): insertion cost under
-//! different reservation gaps, and the partial re-encode itself.
+//! Bench for JDewey maintenance (§III-A): insertion cost under different
+//! reservation gaps, and the partial re-encode itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use xtk_bench::harness::Harness;
 use xtk_datagen::dblp::{generate, DblpConfig};
 use xtk_xml::maintain::JDeweyMaintainer;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("maintenance");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("maintenance").iters(10);
 
     let cfg = DblpConfig {
         conferences: 20,
@@ -18,26 +17,21 @@ fn bench(c: &mut Criterion) {
     };
 
     for gap in [0u32, 4, 64] {
-        g.bench_with_input(BenchmarkId::new("insert_1000", gap), &gap, |b, &gap| {
-            b.iter(|| {
-                let corpus = generate(&cfg);
-                let mut m = JDeweyMaintainer::new(corpus.tree, gap);
-                let years: Vec<_> = m
-                    .tree()
-                    .ids()
-                    .filter(|&i| m.tree().label(i) == "year")
-                    .collect();
-                for i in 0..1000 {
-                    let year = years[i % years.len()];
-                    let p = m.insert_child_auto(year, "paper").unwrap();
-                    black_box(p);
-                }
-                black_box(m.reencode_count)
-            })
+        h.bench(format!("insert_1000/gap{gap}"), || {
+            let corpus = generate(&cfg);
+            let mut m = JDeweyMaintainer::new(corpus.tree, gap);
+            let years: Vec<_> =
+                m.tree().ids().filter(|&i| m.tree().label(i) == "year").collect();
+            for i in 0..1000 {
+                let year = years[i % years.len()];
+                let p = m.insert_child_auto(year, "paper").unwrap();
+                black_box(p);
+            }
+            black_box(m.reencode_count)
         });
     }
 
-    g.bench_function("compact_after_churn", |b| {
+    {
         let corpus = generate(&cfg);
         let mut m = JDeweyMaintainer::new(corpus.tree, 4);
         let years: Vec<_> =
@@ -45,10 +39,6 @@ fn bench(c: &mut Criterion) {
         for i in 0..500 {
             m.insert_child_auto(years[i % years.len()], "paper").unwrap();
         }
-        b.iter(|| black_box(m.compact()))
-    });
-    g.finish();
+        h.bench("compact_after_churn", || black_box(m.compact()));
+    }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Parallel-scaling benchmark: the serial engines vs the scoped-pool
+//! execution across worker counts, on index construction, the complete
+//! join, and the top-K join.  Results are bit-identical at every setting
+//! (enforced by `crates/core/tests/parallel_differential.rs`); this
+//! harness reports the wall-clock side of the trade.
+//!
+//! On a single-core machine the parallel settings measure pure pool
+//! overhead (spawn + channel merge) — expect them at or slightly above
+//! serial.  Speedups appear from 2 physical cores up, dominated by the
+//! index build and large-column joins.
+
+use std::hint::black_box;
+use xtk_bench::harness::Harness;
+use xtk_bench::{build_dblp_with, point_queries, Scale, LOW_FREQS};
+use xtk_core::joinbased::{join_search, JoinOptions};
+use xtk_core::pool::Parallelism;
+use xtk_core::query::{Query, Semantics};
+use xtk_core::topk::{topk_search, TopKOptions};
+
+const SETTINGS: [Parallelism; 4] =
+    [Parallelism::Serial, Parallelism::Fixed(2), Parallelism::Fixed(4), Parallelism::Auto];
+
+fn main() {
+    let mut h = Harness::new("parallel_scaling").iters(10);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("# parallel_scaling on {cores} core(s); auto = fixed({cores})");
+
+    for par in SETTINGS {
+        h.bench(format!("index_build/{par}"), || {
+            black_box(build_dblp_with(Scale::Small, par))
+        });
+    }
+
+    let ix = build_dblp_with(Scale::Small, Parallelism::Serial);
+
+    // High-frequency joins: big columns, where the chunked intersection
+    // and the parallel match evaluation actually engage.
+    let wide: Vec<Query> = point_queries(Scale::Small, 2, LOW_FREQS[3], 6)
+        .iter()
+        .map(|w| Query::from_words(&ix, w).unwrap())
+        .collect();
+    for par in SETTINGS {
+        h.bench(format!("complete_join/{par}"), || {
+            for q in &wide {
+                black_box(join_search(
+                    &ix,
+                    q,
+                    &JoinOptions { with_scores: true, parallelism: par, ..Default::default() },
+                ));
+            }
+        });
+    }
+
+    for par in SETTINGS {
+        h.bench(format!("topk_join/{par}"), || {
+            for q in &wide {
+                black_box(topk_search(
+                    &ix,
+                    q,
+                    &TopKOptions {
+                        k: 10,
+                        semantics: Semantics::Elca,
+                        parallelism: par,
+                        ..Default::default()
+                    },
+                ));
+            }
+        });
+    }
+}

@@ -1,33 +1,28 @@
-//! Criterion bench behind **Table I**: building the physical indexes and
-//! computing their sizes on the two corpora (the size numbers themselves
-//! are printed by `experiments table1`).
+//! Bench behind **Table I**: building the physical indexes and computing
+//! their sizes on the two corpora (the size numbers themselves are printed
+//! by `experiments table1`).  Also measures the parallel index build —
+//! the serial/parallel ratio is the headline scaling number.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use xtk_bench::{build_dblp, build_xmark, Scale};
+use xtk_bench::harness::Harness;
+use xtk_bench::{build_dblp, build_dblp_with, build_xmark, Scale};
+use xtk_core::pool::Parallelism;
 use xtk_index::sizes;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("table1").iters(10);
 
     let dblp = build_dblp(Scale::Small);
     let xmark = build_xmark(Scale::Small);
 
-    g.bench_function("index_build_dblp", |b| {
-        b.iter(|| black_box(build_dblp(Scale::Small)));
-    });
-    g.bench_function("index_build_xmark", |b| {
-        b.iter(|| black_box(build_xmark(Scale::Small)));
-    });
-    g.bench_function("size_accounting_dblp", |b| {
-        b.iter(|| black_box(sizes::compute(&dblp)));
-    });
-    g.bench_function("size_accounting_xmark", |b| {
-        b.iter(|| black_box(sizes::compute(&xmark)));
-    });
-    g.finish();
+    h.bench("index_build_dblp", || black_box(build_dblp(Scale::Small)));
+    h.bench("index_build_xmark", || black_box(build_xmark(Scale::Small)));
+    for par in [Parallelism::Serial, Parallelism::Fixed(2), Parallelism::Fixed(4), Parallelism::Auto]
+    {
+        h.bench(format!("index_build_dblp/{par}"), || {
+            black_box(build_dblp_with(Scale::Small, par))
+        });
+    }
+    h.bench("size_accounting_dblp", || black_box(sizes::compute(&dblp)));
+    h.bench("size_accounting_xmark", || black_box(sizes::compute(&xmark)));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -312,6 +312,7 @@ fn ablation(o: &Opts) {
                     k: o.k,
                     semantics: Semantics::Elca,
                     threshold: xtk_core::topk::ThresholdKind::Tight,
+                ..Default::default()
                 },
             ));
         });
@@ -323,6 +324,7 @@ fn ablation(o: &Opts) {
                     k: o.k,
                     semantics: Semantics::Elca,
                     threshold: xtk_core::topk::ThresholdKind::Classic,
+                ..Default::default()
                 },
             ));
         });
@@ -333,6 +335,7 @@ fn ablation(o: &Opts) {
                 k: o.k,
                 semantics: Semantics::Elca,
                 threshold: xtk_core::topk::ThresholdKind::Tight,
+                ..Default::default()
             },
         );
         let (_, sc) = topk_search(
@@ -342,6 +345,7 @@ fn ablation(o: &Opts) {
                 k: o.k,
                 semantics: Semantics::Elca,
                 threshold: xtk_core::topk::ThresholdKind::Classic,
+                ..Default::default()
             },
         );
         println!(

@@ -1,0 +1,155 @@
+//! Std-only benchmark harness replacing Criterion: warm-up + N timed
+//! iterations, median / p95 / min statistics, one JSON line per benchmark
+//! on stdout (machine-readable, diffable across runs).
+//!
+//! Every bench target under `crates/bench/benches/` is a plain `fn main`
+//! (`harness = false`) driving a [`Harness`], so the whole workspace —
+//! benches included — compiles offline with zero external crates.
+//!
+//! Environment knobs:
+//!
+//! * `XTK_BENCH_ITERS` — timed iterations per benchmark (default 20)
+//! * `XTK_BENCH_WARMUP` — warm-up iterations (default 3)
+//! * `XTK_BENCH_FILTER` — substring filter on benchmark names
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's measured statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub group: String,
+    pub name: String,
+    pub iters: usize,
+    pub median_ns: u128,
+    pub p95_ns: u128,
+    pub min_ns: u128,
+}
+
+impl Measurement {
+    /// The JSON line emitted for this measurement.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"median_ns\":{},\"p95_ns\":{},\"min_ns\":{}}}",
+            escape(&self.group),
+            escape(&self.name),
+            self.iters,
+            self.median_ns,
+            self.p95_ns,
+            self.min_ns
+        )
+    }
+
+    /// Median as a `Duration`.
+    pub fn median(&self) -> Duration {
+        Duration::from_nanos(self.median_ns as u64)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A named group of benchmarks sharing warm-up/iteration settings.
+pub struct Harness {
+    group: String,
+    warmup: usize,
+    iters: usize,
+    filter: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// New group with settings from the environment (or the defaults:
+    /// 3 warm-up runs, 20 timed iterations).
+    pub fn new(group: impl Into<String>) -> Harness {
+        Harness {
+            group: group.into(),
+            warmup: env_usize("XTK_BENCH_WARMUP", 3),
+            iters: env_usize("XTK_BENCH_ITERS", 20),
+            filter: std::env::var("XTK_BENCH_FILTER").ok(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the timed-iteration count for this group.
+    pub fn iters(mut self, iters: usize) -> Harness {
+        self.iters = env_usize("XTK_BENCH_ITERS", iters);
+        self
+    }
+
+    /// Times `f` and prints one JSON line.  Returns the measurement (also
+    /// retained; see [`finish`](Harness::finish)).
+    pub fn bench<R>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> R) -> Option<Measurement> {
+        let name = name.into();
+        if let Some(fil) = &self.filter {
+            if !name.contains(fil.as_str()) && !self.group.contains(fil.as_str()) {
+                return None;
+            }
+        }
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut times: Vec<u128> = (0..self.iters.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_nanos()
+            })
+            .collect();
+        times.sort_unstable();
+        let m = Measurement {
+            group: self.group.clone(),
+            name,
+            iters: times.len(),
+            median_ns: times[times.len() / 2],
+            // Nearest-rank p95 (clamped to the last sample).
+            p95_ns: times[((times.len() * 95).div_ceil(100)).saturating_sub(1)],
+            min_ns: times[0],
+        };
+        println!("{}", m.to_json());
+        self.results.push(m.clone());
+        Some(m)
+    }
+
+    /// All measurements taken so far.
+    pub fn finish(self) -> Vec<Measurement> {
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_formats() {
+        let mut h = Harness::new("selftest").iters(5);
+        let m = h.bench("noop", || std::hint::black_box(2 + 2)).unwrap();
+        assert_eq!(m.iters, 5);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.p95_ns);
+        let json = m.to_json();
+        assert!(json.starts_with("{\"group\":\"selftest\",\"bench\":\"noop\""), "{json}");
+        assert!(json.ends_with('}'), "{json}");
+        assert_eq!(h.finish().len(), 1);
+    }
+
+    #[test]
+    fn ordering_sane_for_slower_work() {
+        let mut h = Harness::new("selftest").iters(5);
+        let fast = h.bench("fast", || std::hint::black_box(1)).unwrap();
+        let slow = h
+            .bench("slow", || {
+                let mut acc = 0u64;
+                for i in 0..200_000u64 {
+                    acc = acc.wrapping_add(std::hint::black_box(i));
+                }
+                acc
+            })
+            .unwrap();
+        assert!(slow.median_ns > fast.median_ns);
+    }
+}

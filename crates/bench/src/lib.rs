@@ -9,11 +9,14 @@
 //! the same coverage a 100 k-frequency word has in the real 1 M-paper
 //! DBLP.
 
+pub mod harness;
+
 use std::time::{Duration, Instant};
 use xtk_datagen::dblp::{generate as gen_dblp, DblpConfig};
 use xtk_datagen::xmark::{generate as gen_xmark, XmarkConfig};
 use xtk_datagen::PlantedTerm;
-use xtk_index::XmlIndex;
+use xtk_index::{IndexOptions, XmlIndex};
+use xtk_xml::pool::Parallelism;
 
 /// Corpus scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +113,13 @@ fn planted(scale: Scale) -> Vec<PlantedTerm> {
 
 /// Builds the DBLP-like experiment corpus.
 pub fn build_dblp(scale: Scale) -> XmlIndex {
+    build_dblp_with(scale, Parallelism::Serial)
+}
+
+/// [`build_dblp`] with an explicit index-build [`Parallelism`] — the
+/// parallel-scaling benchmark sweeps this knob; the index is bit-identical
+/// for every setting.
+pub fn build_dblp_with(scale: Scale, parallelism: Parallelism) -> XmlIndex {
     let cfg = match scale {
         Scale::Paper => DblpConfig {
             conferences: 500,
@@ -132,11 +142,16 @@ pub fn build_dblp(scale: Scale) -> XmlIndex {
             ..Default::default()
         },
     };
-    XmlIndex::build(gen_dblp(&cfg).tree)
+    XmlIndex::build_with(gen_dblp(&cfg).tree, IndexOptions { parallelism, ..Default::default() })
 }
 
 /// Builds the XMark-like experiment corpus.
 pub fn build_xmark(scale: Scale) -> XmlIndex {
+    build_xmark_with(scale, Parallelism::Serial)
+}
+
+/// [`build_xmark`] with an explicit index-build [`Parallelism`].
+pub fn build_xmark_with(scale: Scale, parallelism: Parallelism) -> XmlIndex {
     let cfg = match scale {
         Scale::Paper => XmarkConfig {
             items_per_region: 25_000,
@@ -159,7 +174,7 @@ pub fn build_xmark(scale: Scale) -> XmlIndex {
             ..Default::default()
         },
     };
-    XmlIndex::build(gen_xmark(&cfg).tree)
+    XmlIndex::build_with(gen_xmark(&cfg).tree, IndexOptions { parallelism, ..Default::default() })
 }
 
 /// XMark plants a reduced band set (its item population is smaller).

@@ -118,13 +118,12 @@ pub fn indexed_search(ix: &XmlIndex, query: &Query, opts: &IndexedOptions) -> Ve
         }
         Semantics::Elca => {
             for &u in &candidates {
-                match verify_and_score(ix, &terms, u, Semantics::Elca) {
-                    Some(score) => results.push(ScoredResult {
+                if let Some(score) = verify_and_score(ix, &terms, u, Semantics::Elca) {
+                    results.push(ScoredResult {
                         node: u,
                         level: tree.depth(u),
                         score: if opts.with_scores { score } else { 0.0 },
-                    }),
-                    None => {}
+                    });
                 }
             }
         }

@@ -96,7 +96,7 @@ pub fn stack_search(ix: &XmlIndex, query: &Query, opts: &StackOptions) -> Vec<Sc
         let mut next: Option<NodeId> = None;
         for (i, t) in terms.iter().enumerate() {
             if let Some(&n) = t.postings.get(ptr[i]) {
-                if next.map_or(true, |m| n < m) {
+                if next.is_none_or(|m| n < m) {
                     next = Some(n);
                 }
             }

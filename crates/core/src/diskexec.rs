@@ -203,7 +203,7 @@ mod tests {
         let q = Query::from_words(&ix, &["common", "rare3"]).unwrap();
         let (_, stats, _) = join_search_disk(&ix, &store, &q, &JoinOptions::default());
         assert!(stats.levels >= 1);
-        assert!(stats.merge_joins + stats.index_joins >= stats.levels as u32 / 2);
+        assert!(stats.merge_joins + stats.index_joins >= stats.levels / 2);
         std::fs::remove_file(path).ok();
     }
 }

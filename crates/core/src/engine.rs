@@ -3,8 +3,9 @@
 use crate::baseline::indexed::{indexed_search, IndexedOptions};
 use crate::baseline::rdil::{rdil_search, RdilOptions};
 use crate::baseline::stack::{stack_search, StackOptions};
-use crate::hybrid::{hybrid_topk, PlannedEngine};
+use crate::hybrid::{hybrid_topk_with, PlannedEngine};
 use crate::joinbased::{join_search, JoinOptions, JoinStats};
+use crate::pool::Parallelism;
 use crate::query::{Query, QueryError, Semantics};
 use crate::result::{sort_ranked, ScoredResult};
 use crate::topk::{topk_search, TopKOptions, TopKStats};
@@ -39,17 +40,20 @@ pub enum Algorithm {
 #[derive(Debug)]
 pub struct Engine {
     ix: XmlIndex,
+    parallelism: Parallelism,
 }
 
 impl Engine {
     /// Indexes a parsed tree with default options.
     pub fn new(tree: XmlTree) -> Self {
-        Self { ix: XmlIndex::build(tree) }
+        Self { ix: XmlIndex::build(tree), parallelism: Parallelism::Serial }
     }
 
-    /// Indexes with explicit options (damping λ, JDewey gap).
+    /// Indexes with explicit options (damping λ, JDewey gap, parallelism).
+    /// The index-build parallelism carries over to query execution.
     pub fn with_options(tree: XmlTree, opts: IndexOptions) -> Self {
-        Self { ix: XmlIndex::build_with(tree, opts) }
+        let parallelism = opts.parallelism;
+        Self { ix: XmlIndex::build_with(tree, opts), parallelism }
     }
 
     /// Parses and indexes an XML string.
@@ -59,7 +63,24 @@ impl Engine {
 
     /// Wraps an already-built index.
     pub fn from_index(ix: XmlIndex) -> Self {
-        Self { ix }
+        Self { ix, parallelism: Parallelism::Serial }
+    }
+
+    /// Sets the query-execution parallelism (builder style).  Every
+    /// engine returns bit-identical results for every setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the query-execution parallelism in place.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The query-execution parallelism currently in effect.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The underlying index.
@@ -82,7 +103,12 @@ impl Engine {
         let (mut rs, _) = join_search(
             &self.ix,
             query,
-            &JoinOptions { semantics, with_scores: true, ..Default::default() },
+            &JoinOptions {
+                semantics,
+                with_scores: true,
+                parallelism: self.parallelism,
+                ..Default::default()
+            },
         );
         sort_ranked(&mut rs);
         rs
@@ -97,9 +123,12 @@ impl Engine {
         algorithm: Algorithm,
     ) -> Vec<ScoredResult> {
         match algorithm {
-            Algorithm::JoinBased => {
-                join_search(&self.ix, query, &JoinOptions { semantics, ..Default::default() }).0
-            }
+            Algorithm::JoinBased => join_search(
+                &self.ix,
+                query,
+                &JoinOptions { semantics, parallelism: self.parallelism, ..Default::default() },
+            )
+            .0,
             Algorithm::StackBased => {
                 stack_search(&self.ix, query, &StackOptions { semantics, ..Default::default() })
             }
@@ -111,7 +140,12 @@ impl Engine {
 
     /// Top-K via the join-based top-K star join (§IV).
     pub fn top_k(&self, query: &Query, k: usize, semantics: Semantics) -> Vec<ScoredResult> {
-        topk_search(&self.ix, query, &TopKOptions { k, semantics, ..Default::default() }).0
+        topk_search(
+            &self.ix,
+            query,
+            &TopKOptions { k, semantics, parallelism: self.parallelism, ..Default::default() },
+        )
+        .0
     }
 
     /// Top-K via the §V-D hybrid planner; also reports the engine chosen.
@@ -121,7 +155,7 @@ impl Engine {
         k: usize,
         semantics: Semantics,
     ) -> (Vec<ScoredResult>, PlannedEngine) {
-        hybrid_topk(&self.ix, query, k, semantics)
+        hybrid_topk_with(&self.ix, query, k, semantics, self.parallelism)
     }
 
     /// Top-K via the RDIL baseline (formal ELCA variant).

@@ -14,6 +14,7 @@
 //! [`join_search`](crate::joinbased::join_search) + sort.
 
 use crate::joinbased::{join_search, JoinOptions};
+use crate::pool::Parallelism;
 use crate::query::{ElcaVariant, Query, Semantics};
 use crate::result::{sort_ranked, ScoredResult};
 use crate::topk::{topk_search, TopKOptions};
@@ -93,11 +94,27 @@ pub fn hybrid_topk(
     k: usize,
     semantics: Semantics,
 ) -> (Vec<ScoredResult>, PlannedEngine) {
+    hybrid_topk_with(ix, query, k, semantics, Parallelism::Serial)
+}
+
+/// [`hybrid_topk`] with an explicit [`Parallelism`] knob, forwarded to
+/// whichever engine the planner picks.
+pub fn hybrid_topk_with(
+    ix: &XmlIndex,
+    query: &Query,
+    k: usize,
+    semantics: Semantics,
+    parallelism: Parallelism,
+) -> (Vec<ScoredResult>, PlannedEngine) {
     let est = estimate_result_cardinality(ix, query);
     // The top-K join pays off when it can stop well before exhausting the
     // lists — require an estimated result population comfortably above K.
     if est >= 4.0 * k as f64 {
-        let (rs, _) = topk_search(ix, query, &TopKOptions { k, semantics, ..Default::default() });
+        let (rs, _) = topk_search(
+            ix,
+            query,
+            &TopKOptions { k, semantics, parallelism, ..Default::default() },
+        );
         (rs, PlannedEngine::TopKJoin)
     } else {
         let (mut rs, _) = join_search(
@@ -107,6 +124,7 @@ pub fn hybrid_topk(
                 semantics,
                 variant: ElcaVariant::Operational,
                 with_scores: true,
+                parallelism,
                 ..Default::default()
             },
         );

@@ -18,12 +18,36 @@
 //! duplicate numbers cost one probe ("the second compression scheme groups
 //! the same value in indexing time and saves the online computation",
 //! §III-D).
+//!
+//! # Parallel execution
+//!
+//! With [`JoinOptions::parallelism`] above [`Parallelism::Serial`], two
+//! phases of each level run on the scoped pool while staying bit-identical
+//! to the serial engine:
+//!
+//! * the per-level intersection partitions the probe list into contiguous
+//!   ranges and joins each range independently (results concatenate in
+//!   range order — the same ascending value order the serial join emits);
+//! * the matched values are *evaluated* in parallel (range checks and
+//!   scoring read only rows inside the value's own runs, and same-level
+//!   runs of distinct values are disjoint, so the level-entry erasure
+//!   state each worker sees equals what the serial loop would see), then
+//!   *committed* sequentially in ascending value order, which keeps the
+//!   emission order and the erasure state evolution exactly serial.
 
 use crate::eraser::Eraser;
+use crate::pool::{chunk_ranges, parallel_map, Parallelism};
 use crate::query::{ElcaVariant, Query, Semantics};
 use crate::result::ScoredResult;
 use xtk_index::columnar::{Column, Run};
 use xtk_index::{TermData, XmlIndex};
+
+/// Below this many matched values a level is evaluated serially — the
+/// scoped-spawn overhead would dominate.
+const PAR_MATCH_MIN: usize = 48;
+
+/// Below this many probe values an intersection step runs serially.
+const PAR_JOIN_MIN: usize = 2048;
 
 /// Join-plan selection for the per-level joins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +74,9 @@ pub struct JoinOptions {
     /// Compute ranking scores for each result (costs one pass over the
     /// matched runs' rows; leave off for pure semantic evaluation).
     pub with_scores: bool,
+    /// Worker threads for the per-level joins and match evaluation.
+    /// Results are bit-identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for JoinOptions {
@@ -59,6 +86,7 @@ impl Default for JoinOptions {
             variant: ElcaVariant::Operational,
             plan: JoinPlan::Dynamic,
             with_scores: false,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -97,20 +125,43 @@ pub fn join_search(
     let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
     let mut results = Vec::new();
 
+    let workers = opts.parallelism.workers();
     for l in (1..=l0).rev() {
         stats.levels += 1;
         let cols: Vec<&Column> = terms.iter().map(|t| &t.columns[l as usize - 1]).collect();
-        let values = joined_values(&cols, opts.plan, &mut stats);
-        for v in values {
-            stats.matches += 1;
-            // Per-keyword run for this value; present in all k by
-            // construction of the join.
-            let runs: Vec<Run> = cols
-                .iter()
-                .map(|c| *c.find(v).expect("joined value present in every column"))
-                .collect();
-            if apply_match(ix, &terms, &mut erasers, &runs, l, v, opts, &mut results) {
-                stats.results += 1;
+        let values = joined_values(&cols, opts.plan, opts.parallelism, &mut stats);
+        if workers > 1 && values.len() >= PAR_MATCH_MIN {
+            // Same-level runs of distinct values are disjoint, so the
+            // range checks and scores computed against the level-entry
+            // erasure state equal what the serial value-order loop sees.
+            let evals = parallel_map(opts.parallelism, &values, |_, &v| {
+                let runs: Vec<Run> = cols
+                    .iter()
+                    .map(|c| *c.find(v).expect("joined value present in every column"))
+                    .collect();
+                let (emit, erase, score) = evaluate_match(ix, &terms, &erasers, &runs, l, opts);
+                (runs, emit, erase, score)
+            });
+            // Commit in ascending value order — emission order and the
+            // erasure state evolve exactly as in the serial engine.
+            for (v, (runs, emit, erase, score)) in values.into_iter().zip(evals) {
+                stats.matches += 1;
+                if commit_match(ix, &mut erasers, &runs, l, v, emit, erase, score, &mut results) {
+                    stats.results += 1;
+                }
+            }
+        } else {
+            for v in values {
+                stats.matches += 1;
+                // Per-keyword run for this value; present in all k by
+                // construction of the join.
+                let runs: Vec<Run> = cols
+                    .iter()
+                    .map(|c| *c.find(v).expect("joined value present in every column"))
+                    .collect();
+                if apply_match(ix, &terms, &mut erasers, &runs, l, v, opts, &mut results) {
+                    stats.results += 1;
+                }
             }
         }
     }
@@ -121,6 +172,7 @@ pub fn join_search(
 /// the disk-resident executor: decides ELCA/SLCA status from the range
 /// checks, optionally scores, appends to `results`, applies the erasure.
 /// Returns whether a result was emitted.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_match(
     ix: &XmlIndex,
     terms: &[&TermData],
@@ -131,6 +183,22 @@ pub(crate) fn apply_match(
     opts: &JoinOptions,
     results: &mut Vec<ScoredResult>,
 ) -> bool {
+    let (emit, erase, score) = evaluate_match(ix, terms, erasers, runs, level, opts);
+    commit_match(ix, erasers, runs, level, value, emit, erase, score, results)
+}
+
+/// The read-only half of [`apply_match`]: the ELCA/SLCA range checks and
+/// (when emitting with scores) the ranking score, against the erasure
+/// state as of entering this match.  Safe to run concurrently for
+/// distinct same-level values because their runs are disjoint.
+fn evaluate_match(
+    ix: &XmlIndex,
+    terms: &[&TermData],
+    erasers: &[Eraser],
+    runs: &[Run],
+    level: u16,
+    opts: &JoinOptions,
+) -> (bool, bool, f32) {
     let (emit, erase) = match opts.semantics {
         Semantics::Slca => {
             // SLCA range check (§III-F): any erased row under this node
@@ -155,13 +223,30 @@ pub(crate) fn apply_match(
             (alive, erase)
         }
     };
+    let score = if emit && opts.with_scores {
+        score_of(ix, terms, erasers, runs, level)
+    } else {
+        0.0
+    };
+    (emit, erase, score)
+}
+
+/// The mutating half of [`apply_match`]: appends the result and applies
+/// the erasure.  Always runs sequentially in ascending value order.
+#[allow(clippy::too_many_arguments)]
+fn commit_match(
+    ix: &XmlIndex,
+    erasers: &mut [Eraser],
+    runs: &[Run],
+    level: u16,
+    value: u32,
+    emit: bool,
+    erase: bool,
+    score: f32,
+    results: &mut Vec<ScoredResult>,
+) -> bool {
     if emit {
         let node = ix.node_at(level, value).expect("matched value identifies a node");
-        let score = if opts.with_scores {
-            score_of(ix, terms, erasers, runs, level)
-        } else {
-            0.0
-        };
         results.push(ScoredResult { node, level, score });
     }
     if erase {
@@ -175,7 +260,12 @@ pub(crate) fn apply_match(
 /// Intersects the `k` columns on JDewey number, returning matched values in
 /// increasing order.  Left-deep from the smallest column; each step picks
 /// merge or index join per `plan`.
-fn joined_values(cols: &[&Column], plan: JoinPlan, stats: &mut JoinStats) -> Vec<u32> {
+fn joined_values(
+    cols: &[&Column],
+    plan: JoinPlan,
+    par: Parallelism,
+    stats: &mut JoinStats,
+) -> Vec<u32> {
     let mut order: Vec<usize> = (0..cols.len()).collect();
     order.sort_by_key(|&i| cols[i].runs.len());
 
@@ -197,7 +287,26 @@ fn joined_values(cols: &[&Column], plan: JoinPlan, stats: &mut JoinStats) -> Vec
                 probes * 4 < (values.len() + col.runs.len()) as u64
             }
         };
-        if use_index {
+        if par.workers() > 1 && values.len() >= PAR_JOIN_MIN {
+            // Partition the probe list; each range intersects on its own
+            // worker and the per-range outputs concatenate in range order,
+            // preserving the ascending value order of the serial join.
+            let ranges = chunk_ranges(values.len(), par.workers() * 4);
+            if use_index {
+                stats.index_joins += 1;
+            } else {
+                stats.merge_joins += 1;
+            }
+            let parts = parallel_map(par, &ranges, |_, r| {
+                let chunk = &values[r.clone()];
+                if use_index {
+                    chunk.iter().copied().filter(|&v| col.find(v).is_some()).collect()
+                } else {
+                    merge_intersect(chunk, col)
+                }
+            });
+            values = parts.concat();
+        } else if use_index {
             stats.index_joins += 1;
             values.retain(|&v| col.find(v).is_some());
         } else {
@@ -208,11 +317,15 @@ fn joined_values(cols: &[&Column], plan: JoinPlan, stats: &mut JoinStats) -> Vec
     values
 }
 
-/// Two-pointer intersection of a sorted value list with a column.
+/// Two-pointer intersection of a sorted value list with a column,
+/// starting the column scan at the first run that can match.
 fn merge_intersect(values: &[u32], col: &Column) -> Vec<u32> {
     let mut out = Vec::new();
-    let mut j = 0;
     let runs = &col.runs;
+    let Some(&lo) = values.first() else {
+        return out;
+    };
+    let mut j = runs.partition_point(|r| r.value < lo);
     for &v in values {
         while j < runs.len() && runs[j].value < v {
             j += 1;

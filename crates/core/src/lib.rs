@@ -44,6 +44,7 @@ pub mod eraser;
 pub mod explain;
 pub mod hybrid;
 pub mod joinbased;
+pub mod pool;
 pub mod query;
 pub mod result;
 pub mod semantics;
@@ -52,6 +53,7 @@ pub mod topk;
 pub mod verify;
 
 pub use engine::Engine;
+pub use pool::Parallelism;
 pub use query::{ElcaVariant, Query, Semantics};
 pub use result::ScoredResult;
 pub use topk::{TopKOptions, TopKStream};

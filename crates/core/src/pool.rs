@@ -1,0 +1,9 @@
+//! Re-export of the scoped work-stealing pool from `xtk-xml`.
+//!
+//! The pool lives in `xtk-xml` (the bottom of the dependency stack) so
+//! that `xtk-index` can use it for parallel index construction, but the
+//! query-engine crate is where callers configure parallel *execution*, so
+//! the [`Parallelism`] knob and [`parallel_map`] are re-exported here
+//! under the name the engine documentation uses.
+
+pub use xtk_xml::pool::{chunk_ranges, parallel_map, Parallelism};

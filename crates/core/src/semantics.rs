@@ -15,7 +15,7 @@ pub const MAX_KEYWORDS: usize = 32;
 /// The full-mask value for `k` keywords.
 #[inline]
 pub fn full_mask(k: usize) -> u32 {
-    assert!(k >= 1 && k <= MAX_KEYWORDS, "1..=32 keywords supported, got {k}");
+    assert!((1..=MAX_KEYWORDS).contains(&k), "1..=32 keywords supported, got {k}");
     if k == 32 {
         u32::MAX
     } else {

@@ -150,8 +150,8 @@ impl Bucket {
     /// Exposed for the ablation benchmark.
     pub fn classic_threshold(s: &[f32], s_max: &[f32]) -> f32 {
         let mut best = f32::NEG_INFINITY;
-        for i in 0..s.len() {
-            let mut b = s[i];
+        for (i, &si) in s.iter().enumerate() {
+            let mut b = si;
             for (j, &mj) in s_max.iter().enumerate() {
                 if j != i {
                     b += mj;

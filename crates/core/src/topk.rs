@@ -21,14 +21,38 @@
 //! erasure (which is what Algorithm 1 performs), so `topk_search(q, K)`
 //! returns exactly the `K` best results of
 //! [`join_search`](crate::joinbased::join_search) with scores.
+//!
+//! # Parallel execution
+//!
+//! Retrieval is batched: each keyword's segment cursors are drained a
+//! batch at a time into a per-keyword queue of scored `(row, damped,
+//! value)` candidates.  The drains are independent (each reads only its
+//! own keyword's erasure bitmap and positions), so with
+//! [`TopKOptions::parallelism`] above serial they run concurrently on the
+//! scoped pool.  Everything behind the batches — the star-join bucket, the
+//! erasure commits, and the TA-style threshold check — stays strictly
+//! sequential: the threshold compares a *global* bound against the pending
+//! heap, and the interleaving of consumed rows must follow the score order
+//! the proof of §IV-B assumes.  Queue heads that a later candidate
+//! completion erased are dropped at consume time, which makes the consumed
+//! row sequence — and therefore every result, score and counter —
+//! bit-identical to the serial engine.
 
 use crate::eraser::Eraser;
+use crate::pool::{parallel_map, Parallelism};
 use crate::query::{Query, Semantics};
 use crate::result::ScoredResult;
 use crate::starjoin::{Bucket, F32Ord};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use xtk_index::score::Damping;
 use xtk_index::{TermData, XmlIndex};
+
+/// Rows drained per keyword per refill.
+const BATCH: usize = 64;
+
+/// One keyword's refill: the scored `(row, damped, value)` candidates
+/// plus the advanced segment positions.
+type Drained = (Vec<(u32, f32, u32)>, Vec<usize>);
 
 /// Which unseen-result bound gates the non-blocking output (§IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,11 +76,19 @@ pub struct TopKOptions {
     pub semantics: Semantics,
     /// Unseen-result bound (tight star-join vs classic top-K join).
     pub threshold: ThresholdKind,
+    /// Worker threads for the batched candidate retrieval/scoring.
+    /// Results are bit-identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TopKOptions {
     fn default() -> Self {
-        Self { k: 10, semantics: Semantics::Elca, threshold: ThresholdKind::Tight }
+        Self {
+            k: 10,
+            semantics: Semantics::Elca,
+            threshold: ThresholdKind::Tight,
+            parallelism: Parallelism::Serial,
+        }
     }
 }
 
@@ -95,38 +127,6 @@ impl<'a> Cursors<'a> {
         self.pos.iter_mut().for_each(|p| *p = 0);
     }
 
-    /// Best next damped score at `level`, advancing positions past erased
-    /// rows.  Returns `(segment index, damped score)`.
-    fn peek(&mut self, level: u16, eraser: &Eraser, damping: &Damping) -> Option<(usize, f32)> {
-        let mut best: Option<(usize, f32)> = None;
-        for (si, seg) in self.term.segments.iter().enumerate() {
-            if seg.len < level {
-                continue;
-            }
-            let p = &mut self.pos[si];
-            while *p < seg.rows.len() && eraser.is_erased(seg.rows[*p]) {
-                *p += 1;
-            }
-            if *p >= seg.rows.len() {
-                continue;
-            }
-            let g = self.term.scores[seg.rows[*p] as usize];
-            let damped = g * damping.factor(seg.len - level);
-            if best.map_or(true, |(_, b)| damped > b) {
-                best = Some((si, damped));
-            }
-        }
-        best
-    }
-
-    /// Pops the best next row at `level`: `(row, damped score)`.
-    fn pop(&mut self, level: u16, eraser: &Eraser, damping: &Damping) -> Option<(u32, f32)> {
-        let (si, damped) = self.peek(level, eraser, damping)?;
-        let row = self.term.segments[si].rows[self.pos[si]];
-        self.pos[si] += 1;
-        Some((row, damped))
-    }
-
     /// `s_m(level)`: the best damped score any non-erased posting can
     /// contribute at a *future* column `level`, from the segment heads.
     fn future_max(&mut self, level: u16, eraser: &Eraser, damping: &Damping) -> f32 {
@@ -153,6 +153,54 @@ impl<'a> Cursors<'a> {
     fn has_len(&self, level: u16) -> bool {
         self.term.segments.iter().any(|s| s.len == level)
     }
+}
+
+/// Drains up to `cap` rows for one keyword at `level` in descending
+/// damped-score order (ties broken by segment index then segment
+/// position, exactly like the serial cursor merge), starting from segment
+/// positions `start_pos` and skipping rows erased as of the call.
+///
+/// Pure with respect to the stream: it returns the scored candidates
+/// `(row, damped score, joined value)` plus the advanced positions, so
+/// several keywords can be drained concurrently and the results committed
+/// back deterministically.
+fn drain_batch(
+    term: &TermData,
+    start_pos: &[usize],
+    level: u16,
+    eraser: &Eraser,
+    damping: &Damping,
+    cap: usize,
+) -> Drained {
+    let mut pos = start_pos.to_vec();
+    let col = &term.columns[level as usize - 1];
+    let mut out = Vec::new();
+    while out.len() < cap {
+        let mut best: Option<(usize, f32)> = None;
+        for (si, seg) in term.segments.iter().enumerate() {
+            if seg.len < level {
+                continue;
+            }
+            let p = &mut pos[si];
+            while *p < seg.rows.len() && eraser.is_erased(seg.rows[*p]) {
+                *p += 1;
+            }
+            if *p >= seg.rows.len() {
+                continue;
+            }
+            let g = term.scores[seg.rows[*p] as usize];
+            let damped = g * damping.factor(seg.len - level);
+            if best.is_none_or(|(_, b)| damped > b) {
+                best = Some((si, damped));
+            }
+        }
+        let Some((si, damped)) = best else { break };
+        let row = term.segments[si].rows[pos[si]];
+        pos[si] += 1;
+        let value = col.value_of_row(row).expect("retrieved row reaches this level");
+        out.push((row, damped, value));
+    }
+    (out, pos)
 }
 
 /// Runs the join-based top-K algorithm, returning at most `opts.k` results
@@ -187,6 +235,12 @@ pub struct TopKStream<'a> {
     k_hint: usize,
     erasers: Vec<Eraser>,
     cursors: Vec<Cursors<'a>>,
+    /// Per-keyword queue of drained candidates `(row, damped, value)` for
+    /// the current column, heads kept non-erased lazily.
+    batches: Vec<VecDeque<(u32, f32, u32)>>,
+    /// Per keyword: the current column has no further rows to drain.
+    exhausted: Vec<bool>,
+    parallelism: Parallelism,
     pending: BinaryHeap<(F32Ord, u16, u32)>,
     stats: TopKStats,
     /// Current column (tree level); 0 once every column is exhausted.
@@ -216,6 +270,9 @@ impl<'a> TopKStream<'a> {
             k_hint: opts.k.max(1),
             erasers: (0..k).map(|_| Eraser::new()).collect(),
             cursors,
+            batches: (0..k).map(|_| VecDeque::new()).collect(),
+            exhausted: vec![false; k],
+            parallelism: opts.parallelism,
             pending: BinaryHeap::new(),
             stats: TopKStats::default(),
             level: l0,
@@ -242,30 +299,71 @@ impl<'a> TopKStream<'a> {
     }
 
     fn enter_column(&mut self) {
-        let damping = self.ix.damping();
         self.stats.columns += 1;
         self.bucket = Bucket::new(self.terms.len());
         self.rr = 0;
         for (i, c) in self.cursors.iter_mut().enumerate() {
             c.reset_for_column();
-            self.s_max_col[i] = c
-                .peek(self.level, &self.erasers[i], damping)
-                .map(|(_, d)| d)
-                .unwrap_or(0.0);
+            self.batches[i].clear();
+            self.exhausted[i] = false;
+        }
+        self.ensure_heads();
+        for i in 0..self.terms.len() {
+            self.s_max_col[i] = self.batches[i].front().map(|&(_, d, _)| d).unwrap_or(0.0);
+        }
+    }
+
+    /// Restores the invariant that every batch head is a non-erased row or
+    /// the keyword's column is exhausted.  Refills — the expensive part:
+    /// segment merging, erasure skipping and `value_of_row` scoring — run
+    /// on the pool when more than one keyword needs one.
+    fn ensure_heads(&mut self) {
+        loop {
+            for (b, e) in self.batches.iter_mut().zip(&self.erasers) {
+                while b.front().is_some_and(|&(row, _, _)| e.is_erased(row)) {
+                    b.pop_front();
+                }
+            }
+            let needy: Vec<usize> = (0..self.terms.len())
+                .filter(|&i| self.batches[i].is_empty() && !self.exhausted[i])
+                .collect();
+            if needy.is_empty() {
+                return;
+            }
+            let damping = self.ix.damping();
+            let l = self.level;
+            let refill = |i: usize| {
+                drain_batch(self.terms[i], &self.cursors[i].pos, l, &self.erasers[i], damping, BATCH)
+            };
+            let drained: Vec<Drained> =
+                if self.parallelism.workers() > 1 && needy.len() > 1 {
+                    parallel_map(self.parallelism, &needy, |_, &i| refill(i))
+                } else {
+                    needy.iter().map(|&i| refill(i)).collect()
+                };
+            for (&i, (rows, pos)) in needy.iter().zip(drained) {
+                if rows.is_empty() {
+                    self.exhausted[i] = true;
+                }
+                self.batches[i] = rows.into();
+                self.cursors[i].pos = pos;
+            }
+            // Freshly drained heads were filtered against the current
+            // erasure state, so the next pass terminates.
         }
     }
 
     /// One retrieval step in the current column.  Returns `false` when the
     /// column is exhausted.
     fn step(&mut self) -> bool {
-        let damping = self.ix.damping();
+        self.ensure_heads();
         let k = self.terms.len();
         let l = self.level;
         let mut s = vec![0.0f32; k];
         let mut any = false;
-        for i in 0..k {
-            if let Some((_, d)) = self.cursors[i].peek(l, &self.erasers[i], damping) {
-                s[i] = d;
+        for (si, b) in s.iter_mut().zip(&self.batches) {
+            if let Some(&(_, d, _)) = b.front() {
+                *si = d;
                 any = true;
             }
         }
@@ -292,13 +390,9 @@ impl<'a> TopKStream<'a> {
             }
             p
         };
-        let Some((row, damped)) = self.cursors[pick].pop(l, &self.erasers[pick], damping) else {
-            return true;
-        };
+        let (_row, damped, value) =
+            self.batches[pick].pop_front().expect("picked keyword has a live head");
         self.stats.rows_retrieved += 1;
-        let value = self.terms[pick].columns[l as usize - 1]
-            .value_of_row(row)
-            .expect("retrieved row reaches this level");
         if let Some(done) = self.bucket.insert(value, pick, damped) {
             self.stats.candidates += 1;
             // Fetch the matched runs for the range check + erasure.
@@ -335,13 +429,14 @@ impl<'a> TopKStream<'a> {
     /// this column's star-join bound plus the future-column bounds with
     /// the paper's skip rule.
     fn threshold(&mut self) -> f32 {
+        self.ensure_heads();
         let damping = self.ix.damping();
         let k = self.terms.len();
         let l = self.level;
         let mut s_now = vec![0.0f32; k];
-        for i in 0..k {
-            if let Some((_, d)) = self.cursors[i].peek(l, &self.erasers[i], damping) {
-                s_now[i] = d;
+        for (si, b) in s_now.iter_mut().zip(&self.batches) {
+            if let Some(&(_, d, _)) = b.front() {
+                *si = d;
             }
         }
         let mut threshold = match self.threshold_kind {
@@ -541,12 +636,22 @@ mod tests {
         let (tight, st) = topk_search(
             &ix,
             &q,
-            &TopKOptions { k: 5, semantics: Semantics::Elca, threshold: ThresholdKind::Tight },
+            &TopKOptions {
+                k: 5,
+                semantics: Semantics::Elca,
+                threshold: ThresholdKind::Tight,
+                ..Default::default()
+            },
         );
         let (classic, sc) = topk_search(
             &ix,
             &q,
-            &TopKOptions { k: 5, semantics: Semantics::Elca, threshold: ThresholdKind::Classic },
+            &TopKOptions {
+                k: 5,
+                semantics: Semantics::Elca,
+                threshold: ThresholdKind::Classic,
+                ..Default::default()
+            },
         );
         assert_eq!(tight.len(), classic.len());
         for (a, b) in tight.iter().zip(&classic) {

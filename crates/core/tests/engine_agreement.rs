@@ -7,119 +7,27 @@
 //! * top-K join returns exactly the K best of the complete scored set;
 //! * RDIL returns exactly the K best of the formal scored set;
 //! * all three join plans (dynamic / merge-only / index-only) agree.
+//!
+//! Runs on the in-tree [`testutil`](xtk_xml::testutil) runner.
 
-use proptest::prelude::*;
+mod common;
+
+use common::{assert_topk_valid, build_corpus, corpus, deep_corpus, nodes, query};
 use xtk_core::baseline::indexed::{indexed_search, IndexedOptions};
 use xtk_core::baseline::rdil::{rdil_search, RdilOptions};
 use xtk_core::baseline::stack::{stack_search, StackOptions};
 use xtk_core::joinbased::{join_search, JoinOptions, JoinPlan};
-use xtk_core::query::{ElcaVariant, Query, Semantics};
-use xtk_core::result::{sort_ranked, ScoredResult};
+use xtk_core::query::{ElcaVariant, Semantics};
 use xtk_core::semantics::{naive_elca, naive_slca};
 use xtk_core::topk::{topk_search, TopKOptions};
-use xtk_index::XmlIndex;
-use xtk_xml::tree::{NodeId, XmlTree};
+use xtk_xml::testutil::prop_check;
+use xtk_xml::tree::NodeId;
+use xtk_xml::{prop_assert, prop_assert_eq};
 
-/// Random tree + random keyword placements, built in pre-order.
-fn build_corpus(shape: &[usize], placements: &[(usize, usize)], k: usize) -> XmlIndex {
-    let n = shape.len() + 1;
-    let mut parents = vec![usize::MAX; n];
-    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (i, &c) in shape.iter().enumerate() {
-        let p = c % (i + 1);
-        parents[i + 1] = p;
-        children[p].push(i + 1);
-    }
-    let mut tree = XmlTree::with_capacity(n);
-    let mut map = vec![NodeId(0); n];
-    map[0] = tree.add_root("n0");
-    let mut stack: Vec<usize> = children[0].iter().rev().copied().collect();
-    while let Some(v) = stack.pop() {
-        map[v] = tree.add_child(map[parents[v]], format!("n{v}"));
-        for &c in children[v].iter().rev() {
-            stack.push(c);
-        }
-    }
-    // Place keywords; ensure every keyword occurs at least once.
-    for kw in 0..k {
-        tree.append_text(map[kw % n], &format!("kw{kw}"));
-    }
-    for &(node, kw) in placements {
-        tree.append_text(map[node % n], &format!("kw{}", kw % k));
-    }
-    XmlIndex::build(tree)
-}
-
-fn query(ix: &XmlIndex, k: usize) -> Query {
-    let words: Vec<String> = (0..k).map(|i| format!("kw{i}")).collect();
-    Query::from_words(ix, &words).expect("all keywords planted")
-}
-
-fn nodes(mut rs: Vec<ScoredResult>) -> Vec<NodeId> {
-    rs.sort_by_key(|r| r.node);
-    rs.iter().map(|r| r.node).collect()
-}
-
-/// `got` must be a valid top-K of the ranked `complete` set: same scores
-/// position by position, each returned node a real result with its exact
-/// score.
-fn assert_topk_valid(got: &[ScoredResult], complete: &mut Vec<ScoredResult>, k: usize) {
-    sort_ranked(complete);
-    assert_eq!(got.len(), k.min(complete.len()), "result count");
-    for (i, r) in got.iter().enumerate() {
-        let found = complete
-            .iter()
-            .find(|c| c.node == r.node)
-            .unwrap_or_else(|| panic!("top-K returned non-result {:?}", r.node));
-        assert!(
-            (found.score - r.score).abs() < 1e-4,
-            "score mismatch for {:?}: {} vs {}",
-            r.node,
-            r.score,
-            found.score
-        );
-        assert!(
-            (complete[i].score - r.score).abs() < 1e-4,
-            "rank {i}: {} vs {}",
-            r.score,
-            complete[i].score
-        );
-    }
-}
-
-fn corpus_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<(usize, usize)>, usize)> {
-    (
-        prop::collection::vec(0usize..10_000, 1..60),
-        prop::collection::vec((0usize..10_000, 0usize..10_000), 0..80),
-        2usize..5,
-    )
-}
-
-/// Chain-heavy shapes: parent choices biased to the most recent node, so
-/// trees get deep (many JDewey columns) — exercises the per-level loops
-/// far harder than the mostly-flat uniform shapes.
-fn deep_corpus_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<(usize, usize)>, usize)> {
-    (
-        prop::collection::vec(0usize..3, 10..80),
-        prop::collection::vec((0usize..10_000, 0usize..10_000), 1..60),
-        2usize..4,
-    )
-        .prop_map(|(mut shape, placements, k)| {
-            // chance-of-chain: parent = i (the previous node) for most entries.
-            for (i, c) in shape.iter_mut().enumerate() {
-                if *c > 0 {
-                    *c = i; // attach to the immediately previous node
-                }
-            }
-            (shape, placements, k)
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn complete_engines_agree((shape, placements, k) in corpus_strategy()) {
+#[test]
+fn complete_engines_agree() {
+    prop_check(0x51, 96, |g| {
+        let (shape, placements, k) = corpus(g);
         let ix = build_corpus(&shape, &placements, k);
         let q = query(&ix, k);
         let lists: Vec<&[NodeId]> =
@@ -159,10 +67,13 @@ proptest! {
             semantics: Semantics::Elca, with_scores: false
         }));
         prop_assert_eq!(&indexed, &want_formal, "indexed ELCA formal");
-    }
+    });
+}
 
-    #[test]
-    fn join_plans_agree((shape, placements, k) in corpus_strategy()) {
+#[test]
+fn join_plans_agree() {
+    prop_check(0x52, 96, |g| {
+        let (shape, placements, k) = corpus(g);
         let ix = build_corpus(&shape, &placements, k);
         let q = query(&ix, k);
         for semantics in [Semantics::Elca, Semantics::Slca] {
@@ -176,10 +87,14 @@ proptest! {
                 prop_assert_eq!(&other, &base, "{:?} {:?}", semantics, plan);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn topk_is_prefix_of_complete((shape, placements, k) in corpus_strategy(), kk in 1usize..8) {
+#[test]
+fn topk_is_prefix_of_complete() {
+    prop_check(0x53, 96, |g| {
+        let (shape, placements, k) = corpus(g);
+        let kk = g.gen_range(1..8usize);
         let ix = build_corpus(&shape, &placements, k);
         let q = query(&ix, k);
         for semantics in [Semantics::Elca, Semantics::Slca] {
@@ -192,10 +107,14 @@ proptest! {
             });
             assert_topk_valid(&got, &mut complete, kk);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rdil_is_prefix_of_formal_complete((shape, placements, k) in corpus_strategy(), kk in 1usize..8) {
+#[test]
+fn rdil_is_prefix_of_formal_complete() {
+    prop_check(0x54, 96, |g| {
+        let (shape, placements, k) = corpus(g);
+        let kk = g.gen_range(1..8usize);
         let ix = build_corpus(&shape, &placements, k);
         let q = query(&ix, k);
         for semantics in [Semantics::Elca, Semantics::Slca] {
@@ -205,12 +124,15 @@ proptest! {
             });
             assert_topk_valid(&got, &mut complete, kk);
         }
-    }
+    });
+}
 
-    #[test]
-    fn scores_agree_between_join_and_verifier((shape, placements, k) in corpus_strategy()) {
+#[test]
+fn scores_agree_between_join_and_verifier() {
+    prop_check(0x55, 96, |g| {
         // The join-based engine's incremental scoring must equal the
         // from-scratch verifier scoring on the formal variant.
+        let (shape, placements, k) = corpus(g);
         let ix = build_corpus(&shape, &placements, k);
         let q = query(&ix, k);
         let (join, _) = join_search(&ix, &q, &JoinOptions {
@@ -231,10 +153,13 @@ proptest! {
             prop_assert_eq!(jn, inn);
             prop_assert!((js - is).abs() < 1e-4, "{:?}: {} vs {}", jn, js, is);
         }
-    }
+    });
+}
 
-    #[test]
-    fn deep_trees_agree_across_engines((shape, placements, k) in deep_corpus_strategy()) {
+#[test]
+fn deep_trees_agree_across_engines() {
+    prop_check(0x56, 96, |g| {
+        let (shape, placements, k) = deep_corpus(g);
         let ix = build_corpus(&shape, &placements, k);
         let q = query(&ix, k);
         let lists: Vec<&[NodeId]> =
@@ -255,5 +180,5 @@ proptest! {
             with_scores: true, ..Default::default()
         });
         assert_topk_valid(&got, &mut complete, 5);
-    }
+    });
 }

@@ -1,0 +1,227 @@
+//! Differential tests for parallel execution: every [`Parallelism`]
+//! setting must produce results **bit-identical** to the serial engine —
+//! same nodes in the same order, same `f32` score bits, same execution
+//! counters — on random corpora, on deep chain-heavy corpora, on wide
+//! corpora that cross the parallel batching thresholds, and on the
+//! DBLP/XMark-style generated datasets.  Index construction is likewise
+//! checked structure-by-structure.
+
+mod common;
+
+use common::{build_corpus, corpus, deep_corpus, nodes, query};
+use xtk_core::joinbased::{join_search, JoinOptions};
+use xtk_core::pool::Parallelism;
+use xtk_core::query::{ElcaVariant, Query, Semantics};
+use xtk_core::topk::{topk_search, TopKOptions};
+use xtk_core::Engine;
+use xtk_index::{IndexOptions, XmlIndex};
+use xtk_xml::testutil::prop_check;
+use xtk_xml::XmlTree;
+
+const PARS: [Parallelism; 3] =
+    [Parallelism::Fixed(2), Parallelism::Fixed(8), Parallelism::Auto];
+
+/// Complete join: nodes, levels, score bits and stats must all match the
+/// serial run for every semantics/variant/parallelism combination.
+fn assert_join_identical(ix: &XmlIndex, q: &Query) {
+    for semantics in [Semantics::Elca, Semantics::Slca] {
+        for variant in [ElcaVariant::Operational, ElcaVariant::Formal] {
+            let base_opts =
+                JoinOptions { semantics, variant, with_scores: true, ..Default::default() };
+            let (base, base_stats) = join_search(ix, q, &base_opts);
+            for par in PARS {
+                let (got, stats) =
+                    join_search(ix, q, &JoinOptions { parallelism: par, ..base_opts });
+                assert_eq!(base.len(), got.len(), "{semantics:?}/{variant:?} under {par}");
+                for (a, b) in base.iter().zip(&got) {
+                    assert_eq!(a.node, b.node, "node under {par}");
+                    assert_eq!(a.level, b.level, "level under {par}");
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "score bits for {:?} under {par}",
+                        a.node
+                    );
+                }
+                assert_eq!(base_stats, stats, "join stats under {par}");
+            }
+        }
+    }
+}
+
+/// Top-K: the emitted sequence (including early emissions) and every
+/// counter must match the serial run bit for bit.
+fn assert_topk_identical(ix: &XmlIndex, q: &Query, k: usize) {
+    for semantics in [Semantics::Elca, Semantics::Slca] {
+        let (base, base_stats) =
+            topk_search(ix, q, &TopKOptions { k, semantics, ..Default::default() });
+        for par in PARS {
+            let (got, stats) = topk_search(
+                ix,
+                q,
+                &TopKOptions { k, semantics, parallelism: par, ..Default::default() },
+            );
+            assert_eq!(base.len(), got.len(), "{semantics:?} top-{k} under {par}");
+            for (a, b) in base.iter().zip(&got) {
+                assert_eq!(a.node, b.node, "node under {par}");
+                assert_eq!(a.level, b.level, "level under {par}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "score bits under {par}");
+            }
+            assert_eq!(base_stats, stats, "top-K stats under {par}");
+        }
+    }
+}
+
+#[test]
+fn random_corpora_are_parallelism_invariant() {
+    prop_check(0x61, 48, |g| {
+        let (shape, placements, k) = corpus(g);
+        let ix = build_corpus(&shape, &placements, k);
+        let q = query(&ix, k);
+        assert_join_identical(&ix, &q);
+        assert_topk_identical(&ix, &q, 5);
+    });
+}
+
+#[test]
+fn deep_corpora_are_parallelism_invariant() {
+    prop_check(0x62, 32, |g| {
+        let (shape, placements, k) = deep_corpus(g);
+        let ix = build_corpus(&shape, &placements, k);
+        let q = query(&ix, k);
+        assert_join_identical(&ix, &q);
+        assert_topk_identical(&ix, &q, 4);
+    });
+}
+
+#[test]
+fn wide_corpus_crosses_parallel_thresholds() {
+    // Thousands of sibling matches: the level-2 columns hold ~3000 runs,
+    // which pushes the per-level intersection over its chunking threshold
+    // and the match evaluation over its fan-out threshold, so the pool
+    // actually runs (the random corpora above mostly stay serial-sized).
+    let mut xml = String::from("<r>");
+    for i in 0..3000 {
+        match i % 5 {
+            0 => xml.push_str("<p>foo bar</p>"),
+            1 => xml.push_str("<p>foo<q>bar</q></p>"),
+            2 => xml.push_str("<p>foo bar baz</p>"),
+            3 => xml.push_str("<p>bar</p>"),
+            _ => xml.push_str("<p>foo</p>"),
+        }
+    }
+    xml.push_str("</r>");
+    let ix = XmlIndex::build(xtk_xml::parse(&xml).unwrap());
+    let q = Query::from_words(&ix, &["foo", "bar"]).unwrap();
+    assert_join_identical(&ix, &q);
+    assert_topk_identical(&ix, &q, 10);
+}
+
+/// Builds the same tree twice (generation is seed-deterministic) and
+/// compares every physical index structure between a serial and a
+/// parallel build.
+fn assert_build_identical(mk: impl Fn() -> XmlTree) {
+    let serial = XmlIndex::build_with(mk(), IndexOptions::default());
+    for par in PARS {
+        let parallel = XmlIndex::build_with(
+            mk(),
+            IndexOptions { parallelism: par, ..Default::default() },
+        );
+        assert_eq!(serial.vocab_size(), parallel.vocab_size(), "vocab under {par}");
+        assert_eq!(serial.doc_count(), parallel.doc_count(), "doc count under {par}");
+        for ((ia, ta), (ib, tb)) in serial.terms().zip(parallel.terms()) {
+            assert_eq!(ia, ib);
+            assert_eq!(ta.term, tb.term, "term id assignment under {par}");
+            assert_eq!(ta.postings, tb.postings, "postings of {} under {par}", ta.term);
+            let sa: Vec<u32> = ta.scores.iter().map(|s| s.to_bits()).collect();
+            let sb: Vec<u32> = tb.scores.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(sa, sb, "score bits of {} under {par}", ta.term);
+            assert_eq!(ta.columns.len(), tb.columns.len());
+            for (ca, cb) in ta.columns.iter().zip(&tb.columns) {
+                let ra: Vec<(u32, u32, u32)> =
+                    ca.runs.iter().map(|r| (r.value, r.start, r.len)).collect();
+                let rb: Vec<(u32, u32, u32)> =
+                    cb.runs.iter().map(|r| (r.value, r.start, r.len)).collect();
+                assert_eq!(ra, rb, "columns of {} under {par}", ta.term);
+            }
+            let ga: Vec<(u16, &[u32])> =
+                ta.segments.iter().map(|s| (s.len, s.rows.as_slice())).collect();
+            let gb: Vec<(u16, &[u32])> =
+                tb.segments.iter().map(|s| (s.len, s.rows.as_slice())).collect();
+            assert_eq!(ga, gb, "segments of {} under {par}", ta.term);
+            assert_eq!(ta.score_rows, tb.score_rows, "score rows of {} under {par}", ta.term);
+        }
+    }
+}
+
+/// The two most frequent vocabulary terms — a guaranteed-joinable query
+/// on a generated corpus.
+fn frequent_query(ix: &XmlIndex, n: usize) -> Query {
+    let mut terms: Vec<(usize, String)> =
+        ix.terms().map(|(_, t)| (t.len(), t.term.to_string())).collect();
+    terms.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let words: Vec<String> = terms.into_iter().take(n).map(|(_, w)| w).collect();
+    Query::from_words(ix, &words).expect("frequent terms resolve")
+}
+
+#[test]
+fn dblp_corpus_is_parallelism_invariant() {
+    use xtk_datagen::dblp::{generate, DblpConfig};
+    let cfg = DblpConfig {
+        conferences: 10,
+        years_per_conf: 3,
+        papers_per_year: 6,
+        ..Default::default()
+    };
+    assert_build_identical(|| generate(&cfg).tree);
+    let ix = XmlIndex::build(generate(&cfg).tree);
+    for n in [2, 3] {
+        let q = frequent_query(&ix, n);
+        assert_join_identical(&ix, &q);
+        assert_topk_identical(&ix, &q, 10);
+    }
+}
+
+#[test]
+fn xmark_corpus_is_parallelism_invariant() {
+    use xtk_datagen::xmark::{generate, XmarkConfig};
+    let cfg = XmarkConfig::default();
+    assert_build_identical(|| generate(&cfg).tree);
+    let ix = XmlIndex::build(generate(&cfg).tree);
+    let q = frequent_query(&ix, 2);
+    assert_join_identical(&ix, &q);
+    assert_topk_identical(&ix, &q, 10);
+}
+
+#[test]
+fn engine_facade_is_parallelism_invariant() {
+    let mut xml = String::from("<r>");
+    for i in 0..400 {
+        xml.push_str(&format!("<p><t>alpha beta</t><u>gamma{}</u></p>", i % 7));
+    }
+    xml.push_str("</r>");
+    let serial = Engine::from_xml(&xml).unwrap();
+    let q = serial.query("alpha beta").unwrap();
+    let base = serial.search(&q, Semantics::Elca);
+    let base_topk = serial.top_k(&q, 7, Semantics::Elca);
+    let (base_auto, base_engine) = serial.top_k_auto(&q, 7, Semantics::Elca);
+    for par in PARS {
+        let engine = Engine::from_xml(&xml).unwrap().with_parallelism(par);
+        assert_eq!(engine.parallelism(), par);
+        let q = engine.query("alpha beta").unwrap();
+        assert_eq!(nodes(base.clone()), nodes(engine.search(&q, Semantics::Elca)));
+        let topk = engine.top_k(&q, 7, Semantics::Elca);
+        assert_eq!(base_topk.len(), topk.len());
+        for (a, b) in base_topk.iter().zip(&topk) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        let (auto, engine_used) = engine.top_k_auto(&q, 7, Semantics::Elca);
+        assert_eq!(base_engine, engine_used, "planner choice under {par}");
+        assert_eq!(base_auto.len(), auto.len());
+        for (a, b) in base_auto.iter().zip(&auto) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+}

@@ -14,8 +14,7 @@
 
 use crate::vocab::{author_name, conf_name, Vocab};
 use crate::{plant_terms, PlantedTerm};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xtk_xml::testutil::Rng;
 use xtk_xml::tree::NodeId;
 use xtk_xml::XmlTree;
 
@@ -79,7 +78,7 @@ pub struct DblpCorpus {
 
 /// Generates the corpus.
 pub fn generate(cfg: &DblpConfig) -> DblpCorpus {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let vocab = Vocab::new(cfg.vocab_size, cfg.zipf_s);
     let mut tree = XmlTree::with_capacity(
         2 + cfg.paper_count() * (3 + cfg.authors_per_paper),
@@ -121,7 +120,7 @@ pub fn generate(cfg: &DblpConfig) -> DblpCorpus {
 /// Plants additional terms into *author* nodes of an existing corpus —
 /// used to vary the posting depth mix.
 pub fn plant_into_authors(corpus: &mut DblpCorpus, planted: &[PlantedTerm], seed: u64) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let authors = corpus.authors.clone();
     plant_terms(&mut corpus.tree, &authors, planted, &mut rng);
 }
@@ -129,7 +128,7 @@ pub fn plant_into_authors(corpus: &mut DblpCorpus, planted: &[PlantedTerm], seed
 /// Convenience used by benches: random paper hosts as a slice for manual
 /// planting schemes.
 pub fn random_titles(corpus: &DblpCorpus, n: usize, seed: u64) -> Vec<NodeId> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n).map(|_| corpus.titles[rng.gen_range(0..corpus.titles.len())]).collect()
 }
 

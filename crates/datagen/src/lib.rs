@@ -25,8 +25,7 @@ pub mod vocab;
 pub mod xmark;
 pub mod zipf;
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use xtk_xml::testutil::Rng;
 use xtk_xml::tree::NodeId;
 use xtk_xml::XmlTree;
 
@@ -72,7 +71,7 @@ pub(crate) fn plant_terms(
     tree: &mut XmlTree,
     candidates: &[NodeId],
     planted: &[PlantedTerm],
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) {
     use std::collections::HashMap;
     let mut homes: HashMap<&str, Vec<NodeId>> = HashMap::new();
@@ -113,14 +112,13 @@ pub(crate) fn plant_terms(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn planting_hits_exact_frequencies() {
         let mut tree = XmlTree::new();
         let root = tree.add_root("r");
         let hosts: Vec<NodeId> = (0..100).map(|i| tree.add_child(root, format!("h{i}"))).collect();
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         plant_terms(
             &mut tree,
             &hosts,
@@ -149,7 +147,7 @@ mod tests {
         let mut tree = XmlTree::new();
         let root = tree.add_root("r");
         let hosts = vec![tree.add_child(root, "h")];
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         plant_terms(&mut tree, &hosts, &[PlantedTerm::new("x", 5)], &mut rng);
     }
 }

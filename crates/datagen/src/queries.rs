@@ -6,8 +6,7 @@
 //! exact; this module also selects random background terms within a
 //! frequency band for fully random workloads.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xtk_xml::testutil::Rng;
 use xtk_index::XmlIndex;
 
 /// Random distinct terms whose posting length lies in `[lo, hi]`.
@@ -15,7 +14,7 @@ use xtk_index::XmlIndex;
 /// Returns fewer than `count` terms when the corpus does not have enough
 /// in the band.
 pub fn terms_in_band(ix: &XmlIndex, lo: usize, hi: usize, count: usize, seed: u64) -> Vec<String> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut candidates: Vec<&str> = ix
         .terms()
         .filter(|(_, t)| t.len() >= lo && t.len() <= hi)
@@ -44,8 +43,8 @@ pub fn frequency_workload(
     let highs = terms_in_band(ix, high_freq_band.0, high_freq_band.1, count, seed ^ 0xAAAA);
     let lows = terms_in_band(ix, low_band.0, low_band.1, count * (k - 1), seed ^ 0x5555);
     let mut out = Vec::new();
-    for i in 0..count.min(highs.len()) {
-        let mut q = vec![highs[i].clone()];
+    for (i, high) in highs.iter().take(count).enumerate() {
+        let mut q = vec![high.clone()];
         for j in 0..k - 1 {
             match lows.get(i * (k - 1) + j) {
                 Some(w) if !q.contains(w) => q.push(w.clone()),

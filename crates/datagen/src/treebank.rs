@@ -13,8 +13,7 @@
 
 use crate::vocab::Vocab;
 use crate::{plant_terms, PlantedTerm};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xtk_xml::testutil::Rng;
 use xtk_xml::tree::NodeId;
 use xtk_xml::XmlTree;
 
@@ -69,7 +68,7 @@ const PHRASES: [&str; 6] = ["np", "vp", "pp", "adjp", "advp", "sbar"];
 
 /// Generates the corpus.
 pub fn generate(cfg: &TreebankConfig) -> TreebankCorpus {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let vocab = Vocab::new(cfg.vocab_size, 1.05);
     let mut tree = XmlTree::new();
     let root = tree.add_root("file");
@@ -104,11 +103,11 @@ fn grow(
     depth: u16,
     cfg: &TreebankConfig,
     vocab: &Vocab,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
     shallow: &mut Vec<NodeId>,
     leaves: &mut Vec<(NodeId, u16)>,
 ) {
-    let n_children = rng.gen_range(1..=cfg.max_children);
+    let n_children = rng.gen_range(1..cfg.max_children + 1);
     for _ in 0..n_children {
         let label = PHRASES[rng.gen_range(0..PHRASES.len())];
         let node = tree.add_child(parent, label);

@@ -1,8 +1,7 @@
 //! Synthetic vocabularies: background words, author names, venue names.
 
 use crate::zipf::Zipf;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use xtk_xml::testutil::Rng;
 
 /// A Zipf-weighted background vocabulary of `w<rank>` words.
 #[derive(Debug, Clone)]
@@ -28,12 +27,12 @@ impl Vocab {
     }
 
     /// Samples one word.
-    pub fn word(&self, rng: &mut SmallRng) -> String {
+    pub fn word(&self, rng: &mut Rng) -> String {
         format!("w{}", self.zipf.sample(rng))
     }
 
     /// Appends `count` sampled words to `out`, space-separated.
-    pub fn sentence_into(&self, rng: &mut SmallRng, count: usize, out: &mut String) {
+    pub fn sentence_into(&self, rng: &mut Rng, count: usize, out: &mut String) {
         for i in 0..count {
             if i > 0 || !out.is_empty() {
                 out.push(' ');
@@ -44,7 +43,7 @@ impl Vocab {
 }
 
 /// Deterministic author-name pool (`firstN lastM` pairs).
-pub fn author_name(rng: &mut SmallRng, pool: usize) -> String {
+pub fn author_name(rng: &mut Rng, pool: usize) -> String {
     let f = rng.gen_range(0..pool);
     let l = rng.gen_range(0..pool);
     format!("first{f} last{l}")
@@ -58,12 +57,11 @@ pub fn conf_name(i: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn words_are_prefixed_and_bounded() {
         let v = Vocab::new(100, 1.1);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..100 {
             let w = v.word(&mut rng);
             assert!(w.starts_with('w'));
@@ -75,7 +73,7 @@ mod tests {
     #[test]
     fn sentence_has_requested_words() {
         let v = Vocab::new(50, 1.0);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut s = String::new();
         v.sentence_into(&mut rng, 7, &mut s);
         assert_eq!(s.split_whitespace().count(), 7);
@@ -83,8 +81,8 @@ mod tests {
 
     #[test]
     fn names_deterministic_per_seed() {
-        let mut a = SmallRng::seed_from_u64(9);
-        let mut b = SmallRng::seed_from_u64(9);
+        let mut a = Rng::seed_from_u64(9);
+        let mut b = Rng::seed_from_u64(9);
         assert_eq!(author_name(&mut a, 10), author_name(&mut b, 10));
     }
 }

@@ -17,8 +17,7 @@
 
 use crate::vocab::Vocab;
 use crate::{plant_terms, PlantedTerm};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xtk_xml::testutil::Rng;
 use xtk_xml::tree::NodeId;
 use xtk_xml::XmlTree;
 
@@ -74,7 +73,7 @@ const REGIONS: [&str; 4] = ["africa", "asia", "europe", "namerica"];
 
 /// Generates the corpus.
 pub fn generate(cfg: &XmarkConfig) -> XmarkCorpus {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let vocab = Vocab::new(cfg.vocab_size, cfg.zipf_s);
     let mut tree = XmlTree::new();
     let site = tree.add_root("site");
@@ -121,11 +120,11 @@ pub fn generate(cfg: &XmarkConfig) -> XmarkCorpus {
     for _ in 0..cfg.open_auctions {
         let oa = tree.add_child(opens, "open_auction");
         let initial = tree.add_child(oa, "initial");
-        tree.append_text(initial, &format!("{}", rng.gen_range(1..500)));
+        tree.append_text(initial, &format!("{}", rng.gen_range(1..500u32)));
         for _ in 0..rng.gen_range(0..4usize) {
             let bidder = tree.add_child(oa, "bidder");
             let inc = tree.add_child(bidder, "increase");
-            tree.append_text(inc, &format!("{}", rng.gen_range(1..50)));
+            tree.append_text(inc, &format!("{}", rng.gen_range(1..50u32)));
         }
         let ann = tree.add_child(oa, "annotation");
         let d = tree.add_child(ann, "description");
@@ -139,7 +138,7 @@ pub fn generate(cfg: &XmarkConfig) -> XmarkCorpus {
     for _ in 0..cfg.closed_auctions {
         let ca = tree.add_child(closed, "closed_auction");
         let price = tree.add_child(ca, "price");
-        tree.append_text(price, &format!("{}", rng.gen_range(1..1000)));
+        tree.append_text(price, &format!("{}", rng.gen_range(1..1000u32)));
         let ann = tree.add_child(ca, "annotation");
         tree.append_text(ann, &vocab.word(&mut rng));
     }

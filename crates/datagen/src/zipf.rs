@@ -6,8 +6,7 @@
 //! precomputed cumulative table (exact, not the rejection approximation —
 //! vocabulary sizes here are small enough that the table wins).
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use xtk_xml::testutil::Rng;
 
 /// Zipf distribution over ranks `0..n` with exponent `s`.
 #[derive(Debug, Clone)]
@@ -44,8 +43,8 @@ impl Zipf {
     }
 
     /// Samples a rank in `0..n` (rank 0 is the most frequent).
-    pub fn sample(&self, rng: &mut SmallRng) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
@@ -53,12 +52,11 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn low_ranks_dominate() {
         let z = Zipf::new(1000, 1.1);
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let mut counts = vec![0usize; 1000];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -71,7 +69,7 @@ mod tests {
     #[test]
     fn all_ranks_reachable() {
         let z = Zipf::new(5, 0.8);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut seen = [false; 5];
         for _ in 0..10_000 {
             seen[z.sample(&mut rng)] = true;
@@ -82,7 +80,7 @@ mod tests {
     #[test]
     fn single_rank() {
         let z = Zipf::new(1, 2.0);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert_eq!(z.sample(&mut rng), 0);
     }
 

@@ -19,6 +19,7 @@ use crate::text::token_counts;
 use std::collections::HashMap;
 use xtk_xml::dewey::DeweyIndex;
 use xtk_xml::jdewey::JDeweyAssignment;
+use xtk_xml::pool::{chunk_ranges, parallel_map, Parallelism};
 use xtk_xml::tree::{NodeId, XmlTree};
 
 /// Deterministic per-node "global importance" in `[0.7, 1.0)` — a
@@ -106,12 +107,38 @@ pub struct IndexOptions {
     pub jdewey_gap: u32,
     /// The local scoring function `g(v, w)`.
     pub scorer: LocalScorer,
+    /// Worker threads for the build (tokenization and per-term structure
+    /// construction).  The built index is bit-identical for every setting;
+    /// see [`Parallelism`].
+    pub parallelism: Parallelism,
 }
 
 impl Default for IndexOptions {
     fn default() -> Self {
-        Self { damping: Damping::paper_default(), jdewey_gap: 0, scorer: LocalScorer::default() }
+        Self {
+            damping: Damping::paper_default(),
+            jdewey_gap: 0,
+            scorer: LocalScorer::default(),
+            parallelism: Parallelism::Serial,
+        }
     }
+}
+
+/// Distinct terms of one tokenizer chunk, in first-occurrence order:
+/// `(term, postings, tfs)`.
+struct ChunkTokens {
+    n_docs: u64,
+    terms: Vec<(Box<str>, Vec<NodeId>, Vec<u32>)>,
+}
+
+/// Everything Pass 3 derives for one term (the parts computed from
+/// borrowed postings/scores; zipped back with the owned vectors serially).
+struct TermStructures {
+    scores: Vec<f32>,
+    columns: Vec<Column>,
+    segments: Vec<Segment>,
+    score_rows: Vec<u32>,
+    histograms: Vec<Option<Histogram>>,
 }
 
 /// The unified in-memory index over one XML document.
@@ -141,45 +168,86 @@ impl XmlIndex {
     }
 
     /// Builds the index with explicit options.
+    ///
+    /// With `opts.parallelism` above [`Parallelism::Serial`] the three
+    /// passes fan out over worker threads; the resulting index is
+    /// **bit-identical** to the serial build:
+    ///
+    /// * Pass 1 tokenizes contiguous node-id chunks independently, then
+    ///   merges the chunk vocabularies *in chunk order* — postings stay in
+    ///   document order and [`TermId`]s are assigned in global
+    ///   first-occurrence order, exactly as the serial loop does;
+    /// * Pass 2/3 are per-term maps whose results are merged by term index.
     pub fn build_with(tree: XmlTree, opts: IndexOptions) -> Self {
         let dewey = DeweyIndex::build(&tree);
         let jd = JDeweyAssignment::assign(&tree, opts.jdewey_gap);
+        let par = opts.parallelism;
 
-        // Pass 1: postings with term frequencies.
+        // Pass 1: postings with term frequencies.  Over-split (4 chunks
+        // per worker) so text-heavy regions don't straggle.
+        let n_chunks = if par.workers() <= 1 { 1 } else { par.workers() * 4 };
+        let chunks = chunk_ranges(tree.len(), n_chunks);
+        let tree_ref = &tree;
+        let chunked: Vec<ChunkTokens> = parallel_map(par, &chunks, |_, range| {
+            let mut local: HashMap<Box<str>, usize> = HashMap::new();
+            let mut terms: Vec<(Box<str>, Vec<NodeId>, Vec<u32>)> = Vec::new();
+            let mut n_docs = 0u64;
+            for i in range.clone() {
+                let id = NodeId(i as u32);
+                let text = tree_ref.text(id);
+                if text.is_empty() {
+                    continue;
+                }
+                n_docs += 1;
+                for (tok, tf) in token_counts(text) {
+                    let tok = tok.into_boxed_str();
+                    let ti = *local.entry(tok.clone()).or_insert_with(|| {
+                        terms.push((tok, Vec::new(), Vec::new()));
+                        terms.len() - 1
+                    });
+                    terms[ti].1.push(id);
+                    terms[ti].2.push(tf);
+                }
+            }
+            ChunkTokens { n_docs, terms }
+        });
+        // Deterministic merge: chunks in document order, terms in their
+        // first-occurrence order within each chunk — global TermIds come
+        // out identical to the single-pass serial assignment.
         let mut vocab: HashMap<Box<str>, TermId> = HashMap::new();
         let mut raw: Vec<(Vec<NodeId>, Vec<u32>)> = Vec::new();
         let mut names: Vec<Box<str>> = Vec::new();
         let mut n_docs = 0u64;
-        for id in tree.ids() {
-            let text = tree.text(id);
-            if text.is_empty() {
-                continue;
-            }
-            n_docs += 1;
-            for (tok, tf) in token_counts(text) {
-                let tid = *vocab.entry(tok.clone().into_boxed_str()).or_insert_with(|| {
-                    raw.push((Vec::new(), Vec::new()));
-                    names.push(tok.into_boxed_str());
-                    TermId(raw.len() as u32 - 1)
-                });
-                let (posts, tfs) = &mut raw[tid.0 as usize];
-                posts.push(id);
-                tfs.push(tf);
+        for chunk in chunked {
+            n_docs += chunk.n_docs;
+            for (tok, mut posts, mut tfs) in chunk.terms {
+                match vocab.entry(tok) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let (p, t) = &mut raw[e.get().0 as usize];
+                        p.append(&mut posts);
+                        t.append(&mut tfs);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        names.push(e.key().clone());
+                        e.insert(TermId(raw.len() as u32));
+                        raw.push((posts, tfs));
+                    }
+                }
             }
         }
 
         // Pass 2: tf-idf scores, normalized into (0, 1] by the global max.
+        // Per-term map; the global max folds over per-term maxima in term
+        // order (f64 max is exact — no rounding-order concerns).
         let model = TfIdf { n_docs: n_docs.max(1) };
-        let mut all_scores: Vec<Vec<f64>> = Vec::with_capacity(raw.len());
-        let mut max_raw = f64::MIN_POSITIVE;
-        for (posts, tfs) in &raw {
+        let scored: Vec<(Vec<f64>, f64)> = parallel_map(par, &raw, |_, (posts, tfs)| {
             let df = posts.len() as u64;
             let scores: Vec<f64> = tfs.iter().map(|&tf| model.raw(tf, df)).collect();
-            for &s in &scores {
-                max_raw = max_raw.max(s);
-            }
-            all_scores.push(scores);
-        }
+            let mx = scores.iter().fold(f64::MIN_POSITIVE, |a, &s| a.max(s));
+            (scores, mx)
+        });
+        let max_raw = scored.iter().fold(f64::MIN_POSITIVE, |a, &(_, mx)| a.max(mx));
+        let all_scores: Vec<Vec<f64>> = scored.into_iter().map(|(s, _)| s).collect();
 
         // Pass 3: physical structures per term.  The local score combines
         // the normalized tf-idf with a per-node "global importance" factor
@@ -187,19 +255,19 @@ impl XmlIndex {
         // a deterministic hash stands in for PageRank-style importance and
         // keeps scores spread out — without it, planted tf=1 terms would
         // all tie and every top-K threshold would be degenerate.
-        let mut terms = Vec::with_capacity(raw.len());
-        for (i, (postings, _tfs)) in raw.into_iter().enumerate() {
+        let jd_ref = &jd;
+        let built: Vec<TermStructures> = parallel_map(par, &raw, |i, (postings, _tfs)| {
             let scores: Vec<f32> = all_scores[i]
                 .iter()
-                .zip(&postings)
+                .zip(postings)
                 .map(|(&s, &node)| match opts.scorer {
                     LocalScorer::TfIdfQuality => (s / max_raw) as f32 * node_quality(node),
                     LocalScorer::TfIdf => (s / max_raw) as f32,
                     LocalScorer::Uniform => 1.0,
                 })
                 .collect();
-            let columns = build_columns(&tree, &jd, &postings);
-            let segments = build_segments(&tree, &postings, &scores);
+            let columns = build_columns(tree_ref, jd_ref, postings);
+            let segments = build_segments(tree_ref, postings, &scores);
             let score_rows = score_order(&scores);
             let histograms = columns
                 .iter()
@@ -211,14 +279,18 @@ impl XmlIndex {
                     }
                 })
                 .collect();
+            TermStructures { scores, columns, segments, score_rows, histograms }
+        });
+        let mut terms = Vec::with_capacity(raw.len());
+        for (i, ((postings, _tfs), built)) in raw.into_iter().zip(built).enumerate() {
             terms.push(TermData {
                 term: std::mem::take(&mut names[i]),
                 postings,
-                scores,
-                columns,
-                segments,
-                score_rows,
-                histograms,
+                scores: built.scores,
+                columns: built.columns,
+                segments: built.segments,
+                score_rows: built.score_rows,
+                histograms: built.histograms,
             });
         }
 
@@ -399,6 +471,39 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        // Enough text nodes to spread across many chunks, with terms that
+        // recur across chunk boundaries so the vocabulary merge is
+        // actually exercised.
+        let mut xml = String::from("<r>");
+        for i in 0..300 {
+            xml.push_str(&format!("<p>shared term{} shared{} x</p>", i % 17, i % 5));
+        }
+        xml.push_str("</r>");
+        let tree = parse(&xml).unwrap();
+        let serial = XmlIndex::build_with(tree.clone(), IndexOptions::default());
+        for par in [Parallelism::Fixed(2), Parallelism::Fixed(8), Parallelism::Auto] {
+            let p = XmlIndex::build_with(
+                tree.clone(),
+                IndexOptions { parallelism: par, ..Default::default() },
+            );
+            assert_eq!(p.vocab_size(), serial.vocab_size(), "{par}");
+            assert_eq!(p.doc_count(), serial.doc_count(), "{par}");
+            for ((_, a), (_, b)) in serial.terms().zip(p.terms()) {
+                // Same TermId order, same postings, bit-identical scores,
+                // same physical structures.
+                assert_eq!(a.term, b.term, "{par}");
+                assert_eq!(a.postings, b.postings, "{par} {}", a.term);
+                let sa: Vec<u32> = a.scores.iter().map(|s| s.to_bits()).collect();
+                let sb: Vec<u32> = b.scores.iter().map(|s| s.to_bits()).collect();
+                assert_eq!(sa, sb, "{par} {}", a.term);
+                assert_eq!(a.columns, b.columns, "{par} {}", a.term);
+                assert_eq!(a.score_rows, b.score_rows, "{par} {}", a.term);
+            }
+        }
+    }
+
+    #[test]
     fn attribute_text_is_indexed() {
         let ix = index(r#"<r><paper year="2010">xml</paper></r>"#);
         assert!(ix.term_by_str("2010").is_some());
@@ -407,12 +512,11 @@ mod tests {
 
     #[test]
     fn scorer_variants_produce_expected_ranges() {
-        use crate::score::Damping;
         let tree = parse("<r><a>x x y</a><b>x</b></r>").unwrap();
         for scorer in [LocalScorer::TfIdfQuality, LocalScorer::TfIdf, LocalScorer::Uniform] {
             let ix = XmlIndex::build_with(
                 tree.clone(),
-                IndexOptions { damping: Damping::paper_default(), jdewey_gap: 0, scorer },
+                IndexOptions { scorer, ..Default::default() },
             );
             for (_, t) in ix.terms() {
                 for &s in &t.scores {

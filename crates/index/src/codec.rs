@@ -149,11 +149,19 @@ pub fn encode_column(col: &Column, scheme: Scheme) -> CompressedColumn {
         }
         Scheme::Rle => {
             for run in &col.runs {
-                if prev.is_none() || bytes.len() - block_start >= BLOCK_SIZE {
-                    block_start = bytes.len();
-                    begin_block(&mut bytes, &mut block_offsets, &mut block_first_values, run.value);
-                } else {
-                    write_varint(run.value - prev.unwrap(), &mut bytes);
+                match prev {
+                    Some(p) if bytes.len() - block_start < BLOCK_SIZE => {
+                        write_varint(run.value - p, &mut bytes);
+                    }
+                    _ => {
+                        block_start = bytes.len();
+                        begin_block(
+                            &mut bytes,
+                            &mut block_offsets,
+                            &mut block_first_values,
+                            run.value,
+                        );
+                    }
                 }
                 prev = Some(run.value);
                 write_varint(run.len, &mut bytes);

@@ -128,7 +128,7 @@ pub fn build_columns(tree: &XmlTree, jd: &JDeweyAssignment, postings: &[NodeId])
                 Some(last) if last.value == value && last.end() == row => last.len += 1,
                 _ => {
                     debug_assert!(
-                        col.runs.last().map_or(true, |r| r.value < value),
+                        col.runs.last().is_none_or(|r| r.value < value),
                         "postings must be sorted in JDewey order"
                     );
                     col.runs.push(Run { value, start: row, len: 1 });

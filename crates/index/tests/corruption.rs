@@ -3,11 +3,12 @@
 //! error or — when the mutation happens to keep the file well-formed — a
 //! successful parse.  Never a panic.
 
-use proptest::prelude::*;
 use xtk_index::disk::{read_index, write_index, WriteIndexOptions};
 use xtk_index::diskcol::DiskColumnStore;
 use xtk_index::XmlIndex;
 use xtk_xml::parse;
+use xtk_xml::testutil::prop_check;
+use xtk_xml::prop_assert_eq;
 
 fn valid_index_bytes() -> Vec<u8> {
     let mut xml = String::from("<r>");
@@ -50,13 +51,13 @@ fn every_truncation_point_is_handled() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_mutations_never_panic(
-        flips in prop::collection::vec((0usize..1_000_000, 0u8..=255), 1..8)
-    ) {
+#[test]
+fn random_mutations_never_panic() {
+    prop_check(0x41, 48, |g| {
+        let n_flips = g.gen_range(1..8usize);
+        let flips: Vec<(usize, u8)> = (0..n_flips)
+            .map(|_| (g.gen_range(0..1_000_000usize), g.gen_range(0..256u32) as u8))
+            .collect();
         let mut bytes = valid_index_bytes();
         for (pos, val) in flips {
             let n = bytes.len();
@@ -65,10 +66,10 @@ proptest! {
         let path = write_temp(&bytes, "flip");
         match read_index(&path) {
             Ok(loaded) => {
-                // A lucky mutation may still be well-formed; basic sanity
-                // on whatever came back.
+                // A lucky mutation may still be well-formed; walking the
+                // terms must at least not panic.
                 for (term, t) in &loaded.terms {
-                    prop_assert!(!term.is_empty() || t.depths.is_empty() || true);
+                    let _ = (term.len(), t.depths.len());
                 }
             }
             Err(e) => {
@@ -77,7 +78,7 @@ proptest! {
         }
         let _ = DiskColumnStore::open(&path);
         std::fs::remove_file(&path).ok();
-    }
+    });
 }
 
 #[test]

@@ -1,13 +1,16 @@
 //! Property-based tests for the physical index layer: columnar invariants
 //! on random trees, codec round-trips on random run shapes, sparse-index
 //! consistency, and builder/posting invariants.
+//!
+//! Runs on the in-tree [`testutil`](xtk_xml::testutil) runner.
 
-use proptest::prelude::*;
 use xtk_index::codec::{choose_scheme, decode_column, encode_column, Scheme};
 use xtk_index::columnar::{Column, Run};
 use xtk_index::sparse::SparseIndex;
 use xtk_index::XmlIndex;
+use xtk_xml::testutil::{prop_check, Gen};
 use xtk_xml::tree::{NodeId, XmlTree};
+use xtk_xml::{prop_assert, prop_assert_eq};
 
 /// Builds a random pre-order tree with random text placements.
 fn build_tree(shape: &[usize], texts: &[(usize, u8)]) -> XmlTree {
@@ -35,28 +38,43 @@ fn build_tree(shape: &[usize], texts: &[(usize, u8)]) -> XmlTree {
     tree
 }
 
-/// Random well-formed column: sorted distinct values, contiguous-or-gapped
-/// rows.
-fn column_strategy() -> impl Strategy<Value = Column> {
-    prop::collection::vec((1u32..5000, 1u32..20, 0u32..3), 0..200).prop_map(|spec| {
-        let mut runs = Vec::new();
-        let mut value = 0u32;
-        let mut row = 0u32;
-        for (vdelta, len, gap) in spec {
-            value += vdelta;
-            row += gap; // gap = rows absent at this level
-            runs.push(Run { value, start: row, len });
-            row += len;
-        }
-        Column { runs }
-    })
+/// Random parent-choice vector of length in `[1, max)`, size-scaled.
+fn shape(g: &mut Gen, max: usize) -> Vec<usize> {
+    let cap = max.min(g.size() + 2).max(2);
+    let n = g.gen_range(1..cap);
+    (0..n).map(|_| g.gen_range(0..10_000usize)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Random text placements `(node, word)` of length in `[1, max)`.
+fn placements(g: &mut Gen, max: usize, words: u8) -> Vec<(usize, u8)> {
+    let cap = max.min(2 * g.size() + 2).max(2);
+    let n = g.gen_range(1..cap);
+    (0..n)
+        .map(|_| (g.gen_range(0..10_000usize), g.gen_range(0..words as u32) as u8))
+        .collect()
+}
 
-    #[test]
-    fn codec_roundtrip_both_schemes(col in column_strategy()) {
+/// Random well-formed column: sorted distinct values, contiguous-or-gapped
+/// rows.
+fn random_column(g: &mut Gen) -> Column {
+    let n = g.gen_range(0..200.min(2 * g.size() + 1));
+    let mut runs = Vec::new();
+    let mut value = 0u32;
+    let mut row = 0u32;
+    for _ in 0..n {
+        value += g.gen_range(1..5000u32);
+        row += g.gen_range(0..3u32); // gap = rows absent at this level
+        let len = g.gen_range(1..20u32);
+        runs.push(Run { value, start: row, len });
+        row += len;
+    }
+    Column { runs }
+}
+
+#[test]
+fn codec_roundtrip_both_schemes() {
+    prop_check(0x31, 128, |g| {
+        let col = random_column(g);
         let present: Vec<u32> = col.runs.iter().flat_map(|r| r.rows()).collect();
         for scheme in [Scheme::Delta, Scheme::Rle] {
             let cc = encode_column(&col, scheme);
@@ -66,10 +84,13 @@ proptest! {
         // The adaptive choice also round-trips.
         let cc = encode_column(&col, choose_scheme(&col));
         prop_assert_eq!(decode_column(&cc, &present), col);
-    }
+    });
+}
 
-    #[test]
-    fn sparse_index_locates_every_value(col in column_strategy()) {
+#[test]
+fn sparse_index_locates_every_value() {
+    prop_check(0x32, 128, |g| {
+        let col = random_column(g);
         let cc = encode_column(&col, Scheme::Delta);
         let sx = SparseIndex::build(&cc);
         prop_assert_eq!(sx.len(), cc.block_count());
@@ -82,13 +103,14 @@ proptest! {
                 prop_assert!(cc.block_first_values[b + 1] > run.value);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn columns_are_sorted_with_contiguous_runs(
-        shape in prop::collection::vec(0usize..10_000, 1..80),
-        texts in prop::collection::vec((0usize..10_000, 0u8..6), 1..120),
-    ) {
+#[test]
+fn columns_are_sorted_with_contiguous_runs() {
+    prop_check(0x33, 128, |g| {
+        let shape = shape(g, 80);
+        let texts = placements(g, 120, 6);
         let ix = XmlIndex::build(build_tree(&shape, &texts));
         for (_, term) in ix.terms() {
             // Postings sorted (doc order).
@@ -122,15 +144,16 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn run_containment_across_adjacent_levels(
-        shape in prop::collection::vec(0usize..10_000, 1..80),
-        texts in prop::collection::vec((0usize..10_000, 0u8..4), 1..100),
-    ) {
+#[test]
+fn run_containment_across_adjacent_levels() {
+    prop_check(0x34, 128, |g| {
         // §III-E: a run at level l is contained in exactly one run at
         // level l-1 (never partially overlapping).
+        let shape = shape(g, 80);
+        let texts = placements(g, 100, 4);
         let ix = XmlIndex::build(build_tree(&shape, &texts));
         for (_, term) in ix.terms() {
             for l in 2..=term.columns.len() {
@@ -158,13 +181,14 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn segments_partition_rows_in_score_order(
-        shape in prop::collection::vec(0usize..10_000, 1..60),
-        texts in prop::collection::vec((0usize..10_000, 0u8..4), 1..100),
-    ) {
+#[test]
+fn segments_partition_rows_in_score_order() {
+    prop_check(0x35, 128, |g| {
+        let shape = shape(g, 60);
+        let texts = placements(g, 100, 4);
         let ix = XmlIndex::build(build_tree(&shape, &texts));
         for (_, term) in ix.terms() {
             let mut seen = vec![false; term.len()];
@@ -184,10 +208,13 @@ proptest! {
             }
             prop_assert!(seen.iter().all(|&s| s), "segments cover all rows");
         }
-    }
+    });
+}
 
-    #[test]
-    fn value_of_row_agrees_with_runs(col in column_strategy()) {
+#[test]
+fn value_of_row_agrees_with_runs() {
+    prop_check(0x36, 128, |g| {
+        let col = random_column(g);
         for run in &col.runs {
             for row in run.rows() {
                 prop_assert_eq!(col.value_of_row(row), Some(run.value));
@@ -196,5 +223,5 @@ proptest! {
         // A row beyond all runs is absent.
         let end = col.runs.last().map(|r| r.end()).unwrap_or(0);
         prop_assert_eq!(col.value_of_row(end), None);
-    }
+    });
 }

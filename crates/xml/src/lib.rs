@@ -34,7 +34,9 @@ pub mod error;
 pub mod jdewey;
 pub mod maintain;
 pub mod parser;
+pub mod pool;
 pub mod stats;
+pub mod testutil;
 pub mod tree;
 pub mod writer;
 

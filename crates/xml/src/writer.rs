@@ -33,17 +33,11 @@ pub fn escape_attr(s: &str, out: &mut String) {
 }
 
 /// Options controlling serialization.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct WriteOptions {
     /// Indent nested elements by two spaces per depth level and place each
     /// element on its own line.
     pub pretty: bool,
-}
-
-impl Default for WriteOptions {
-    fn default() -> Self {
-        Self { pretty: false }
-    }
 }
 
 /// Serializes the subtree rooted at `id` to XML text.

@@ -1,17 +1,43 @@
 //! Parser robustness: arbitrary input must never panic — either a tree
 //! comes back or a positioned `ParseError`.  Also: anything the writer
 //! emits must re-parse, and error positions must lie within the input.
+//!
+//! Runs on the in-tree [`testutil`](xtk_xml::testutil) runner.
 
-use proptest::prelude::*;
 use xtk_xml::parse;
+use xtk_xml::testutil::{prop_check, Gen};
+use xtk_xml::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random Unicode scalar value — biased towards ASCII and XML
+/// metacharacters so the interesting parser states actually get hit.
+fn fuzz_char(g: &mut Gen) -> char {
+    match g.gen_range(0..10u32) {
+        // Plain printable ASCII.
+        0..=4 => g.gen_range(b' '..b'~' + 1) as char,
+        // XML metacharacters.
+        5..=7 => *g
+            .rng()
+            .choose(&['<', '>', '&', ';', '\'', '"', '/', '!', '?', '[', ']', '-', '='])
+            .unwrap(),
+        // Control characters and whitespace.
+        8 => char::from_u32(g.gen_range(0..0x20u32)).unwrap(),
+        // Arbitrary scalar (skip the surrogate gap).
+        _ => loop {
+            let v = g.gen_range(0..0x11_0000u32);
+            if let Some(c) = char::from_u32(v) {
+                break c;
+            }
+        },
+    }
+}
 
-    #[test]
-    fn arbitrary_strings_never_panic(input in ".{0,300}") {
+#[test]
+fn arbitrary_strings_never_panic() {
+    prop_check(0x21, 256, |g| {
+        let len = g.gen_range(0..(3 * g.size() + 1));
+        let input: String = (0..len).map(|_| fuzz_char(g)).collect();
         match parse(&input) {
-            Ok(tree) => prop_assert!(tree.len() >= 1),
+            Ok(tree) => prop_assert!(!tree.is_empty()),
             Err(e) => {
                 prop_assert!(e.offset <= input.len(), "offset {} > len {}", e.offset, input.len());
                 prop_assert!(e.line >= 1);
@@ -20,47 +46,54 @@ proptest! {
                 let _ = e.to_string();
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn xmlish_strings_never_panic(
-        parts in prop::collection::vec(
-            prop_oneof![
-                Just("<a>".to_string()),
-                Just("</a>".to_string()),
-                Just("<b x='1'>".to_string()),
-                Just("</b>".to_string()),
-                Just("<c/>".to_string()),
-                Just("text".to_string()),
-                Just("&amp;".to_string()),
-                Just("&bogus;".to_string()),
-                Just("<!-- c -->".to_string()),
-                Just("<![CDATA[d]]>".to_string()),
-                Just("<?pi?>".to_string()),
-                Just("<".to_string()),
-                Just(">".to_string()),
-                Just("&".to_string()),
-                Just("<!".to_string()),
-            ],
-            0..40,
-        )
-    ) {
-        let input: String = parts.concat();
+#[test]
+fn xmlish_strings_never_panic() {
+    const PARTS: &[&str] = &[
+        "<a>", "</a>", "<b x='1'>", "</b>", "<c/>", "text", "&amp;", "&bogus;",
+        "<!-- c -->", "<![CDATA[d]]>", "<?pi?>", "<", ">", "&", "<!",
+    ];
+    prop_check(0x22, 256, |g| {
+        let n = g.gen_range(0..40.min(g.size() + 1));
+        let input: String = (0..n)
+            .map(|_| *g.rng().choose(PARTS).unwrap())
+            .collect();
         let _ = parse(&input); // must not panic
-    }
+    });
+}
 
-    #[test]
-    fn parse_write_parse_is_stable(
-        labels in prop::collection::vec("[a-z]{1,6}", 1..10),
-        texts in prop::collection::vec("[a-zA-Z0-9 <>&\"']{0,16}", 1..10),
-    ) {
+#[test]
+fn parse_write_parse_is_stable() {
+    prop_check(0x23, 256, |g| {
+        let n_labels = g.len_at_least(1).min(9);
+        let labels: Vec<String> = (0..n_labels)
+            .map(|_| {
+                let len = g.gen_range(1..7usize);
+                (0..len).map(|_| g.gen_range(b'a'..b'z' + 1) as char).collect()
+            })
+            .collect();
+        const TEXT_CHARS: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '<', '>', '&', '"', '\'',
+        ];
+        let texts: Vec<String> = (0..n_labels)
+            .map(|_| {
+                let len = g.gen_range(0..17usize);
+                (0..len).map(|_| *g.rng().choose(TEXT_CHARS).unwrap()).collect()
+            })
+            .collect();
         // Build a document programmatically, write it, parse it, write it
         // again: the two serializations must be identical (fixpoint).
         let mut tree = xtk_xml::XmlTree::new();
         let root = tree.add_root("root");
         let mut cur = root;
         for (i, l) in labels.iter().enumerate() {
-            cur = if i % 3 == 0 { tree.add_child(root, l.as_str()) } else { tree.add_child(cur, l.as_str()) };
+            cur = if i % 3 == 0 {
+                tree.add_child(root, l.as_str())
+            } else {
+                tree.add_child(cur, l.as_str())
+            };
             if let Some(t) = texts.get(i) {
                 let trimmed = t.trim();
                 if !trimmed.is_empty() {
@@ -72,5 +105,5 @@ proptest! {
         let reparsed = parse(&once).expect("writer output parses");
         let twice = xtk_xml::writer::write_document(&reparsed, Default::default());
         prop_assert_eq!(once, twice);
-    }
+    });
 }

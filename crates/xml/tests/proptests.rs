@@ -1,13 +1,17 @@
 //! Property-based tests for the XML substrate: random trees must satisfy
 //! the JDewey requirements and Property 3.1, Dewey/JDewey LCA computations
 //! must agree with the tree-walk LCA, and writer→parser must round-trip.
+//!
+//! Runs on the in-tree [`testutil`](xtk_xml::testutil) runner (the
+//! workspace builds offline with no external crates).
 
-use proptest::prelude::*;
 use xtk_xml::dewey::DeweyIndex;
 use xtk_xml::jdewey::JDeweyAssignment;
 use xtk_xml::maintain::JDeweyMaintainer;
+use xtk_xml::testutil::{prop_check, Gen};
 use xtk_xml::tree::{NodeId, XmlTree};
 use xtk_xml::writer::{write_document, WriteOptions};
+use xtk_xml::{prop_assert, prop_assert_eq};
 
 /// Builds a random tree from a shape vector: entry `i` attaches node `i+1`
 /// under node `choices[i] % (i+1)`.
@@ -35,22 +39,29 @@ fn tree_from_shape(shape: &[usize]) -> XmlTree {
     tree
 }
 
-fn shape_strategy(max: usize) -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(0usize..10_000, 0..max)
+/// Random parent-choice vector of length `< max`, scaled by `g.size()`.
+fn shape(g: &mut Gen, max: usize) -> Vec<usize> {
+    let cap = max.min(g.size() + 1);
+    let n = g.gen_range(0..cap);
+    (0..n).map(|_| g.gen_range(0..10_000usize)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn jdewey_requirements_hold(shape in shape_strategy(120), gap in 0u32..4) {
+#[test]
+fn jdewey_requirements_hold() {
+    prop_check(0x11, 64, |g| {
+        let shape = shape(g, 120);
+        let gap = g.gen_range(0..4u32);
         let tree = tree_from_shape(&shape);
         let jd = JDeweyAssignment::assign(&tree, gap);
         prop_assert!(jd.validate(&tree).is_ok());
-    }
+    });
+}
 
-    #[test]
-    fn property_3_1_on_random_trees(shape in shape_strategy(80), gap in 0u32..4) {
+#[test]
+fn property_3_1_on_random_trees() {
+    prop_check(0x12, 64, |g| {
+        let shape = shape(g, 80);
+        let gap = g.gen_range(0..4u32);
         let tree = tree_from_shape(&shape);
         let jd = JDeweyAssignment::assign(&tree, gap);
         let seqs: Vec<_> = tree.ids().map(|id| jd.seq_with(&tree, id)).collect();
@@ -64,11 +75,14 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn jdewey_lca_agrees_with_tree(shape in shape_strategy(60)) {
+#[test]
+fn jdewey_lca_agrees_with_tree() {
+    prop_check(0x13, 64, |g| {
         // LCA via JDewey: largest i with S1(i) == S2(i), node = (i, value).
+        let shape = shape(g, 60);
         let tree = tree_from_shape(&shape);
         let jd = JDeweyAssignment::assign(&tree, 2);
         let ids: Vec<_> = tree.ids().collect();
@@ -91,10 +105,13 @@ proptest! {
                 prop_assert_eq!(via_jd, tree.lca(a, b));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dewey_lca_agrees_with_tree(shape in shape_strategy(60)) {
+#[test]
+fn dewey_lca_agrees_with_tree() {
+    prop_check(0x14, 64, |g| {
+        let shape = shape(g, 60);
         let tree = tree_from_shape(&shape);
         let dx = DeweyIndex::build(&tree);
         let ids: Vec<_> = tree.ids().collect();
@@ -105,10 +122,13 @@ proptest! {
                 prop_assert_eq!(&lca, dx.dewey(expect));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dewey_order_is_document_order(shape in shape_strategy(120)) {
+#[test]
+fn dewey_order_is_document_order() {
+    prop_check(0x15, 64, |g| {
+        let shape = shape(g, 120);
         let tree = tree_from_shape(&shape);
         let dx = DeweyIndex::build(&tree);
         // Arena order is pre-order (doc order); Dewey order must match.
@@ -120,14 +140,18 @@ proptest! {
             }
             prev = Some(d.clone());
         }
-    }
+    });
+}
 
-    #[test]
-    fn maintainer_insertions_preserve_invariants(
-        shape in shape_strategy(40),
-        inserts in prop::collection::vec((0usize..10_000, 0usize..10_000), 0..60),
-        gap in 0u32..3,
-    ) {
+#[test]
+fn maintainer_insertions_preserve_invariants() {
+    prop_check(0x16, 64, |g| {
+        let shape = shape(g, 40);
+        let n_ops = g.gen_range(0..60.min(g.size() + 1));
+        let inserts: Vec<(usize, usize)> = (0..n_ops)
+            .map(|_| (g.gen_range(0..10_000usize), g.gen_range(0..10_000usize)))
+            .collect();
+        let gap = g.gen_range(0..3u32);
         let tree = tree_from_shape(&shape);
         let mut m = JDeweyMaintainer::new(tree, gap);
         let mut live: Vec<NodeId> = m.tree().ids().collect();
@@ -159,10 +183,21 @@ proptest! {
         // Compaction produces a pre-order arena of exactly the live nodes.
         let (compacted, _) = m.compact();
         prop_assert_eq!(compacted.len(), m.live_count());
-    }
+    });
+}
 
-    #[test]
-    fn writer_parser_roundtrip(shape in shape_strategy(50), texts in prop::collection::vec("[ -~]{0,12}", 0..50)) {
+#[test]
+fn writer_parser_roundtrip() {
+    prop_check(0x17, 64, |g| {
+        let shape = shape(g, 50);
+        let n_texts = g.gen_range(0..50.min(g.size() + 1));
+        let texts: Vec<String> = (0..n_texts)
+            .map(|_| {
+                // Printable ASCII, 0–12 chars (the old "[ -~]{0,12}").
+                let len = g.gen_range(0..13usize);
+                (0..len).map(|_| g.gen_range(b' '..b'~' + 1) as char).collect()
+            })
+            .collect();
         let mut tree = tree_from_shape(&shape);
         let ids: Vec<_> = tree.ids().collect();
         for (i, t) in texts.iter().enumerate() {
@@ -183,5 +218,5 @@ proptest! {
             let tb: Vec<&str> = back.text(b).split_whitespace().collect();
             prop_assert_eq!(ta, tb);
         }
-    }
+    });
 }
