@@ -1,6 +1,7 @@
 #!/bin/sh
-# Tier-1 gate, fully offline: release build, workspace tests, clippy.
-# Run from the repo root.  Fails fast on the first broken step.
+# Tier-1 gate, fully offline: release build, workspace tests, in-tree
+# static analysis (xtk-lint), clippy.  Run from the repo root.  Fails
+# fast on the first broken step.
 set -eu
 
 cd "$(dirname "$0")"
@@ -8,14 +9,26 @@ cd "$(dirname "$0")"
 echo "== cargo build --release --offline"
 cargo build --release --offline --workspace
 
+echo "== cargo run -q -p xtk-lint (panic/determinism ratchet)"
+# Unconditional: xtk-lint is a workspace crate with no external deps, so
+# there is no environment where this step may be skipped.  It enforces
+# the lint-baseline.json ratchet plus the hard rules (hash-order output,
+# float ==, wall-clock in query paths, forbid(unsafe_code)).
+cargo run -q --offline -p xtk-lint
+
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
-if cargo clippy --version >/dev/null 2>&1; then
+if [ "${XTK_SKIP_CLIPPY:-0}" = "1" ]; then
+    echo "== clippy skipped (XTK_SKIP_CLIPPY=1)"
+elif cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --all-targets -- -D warnings"
     cargo clippy --offline --workspace --all-targets -q -- -D warnings
 else
-    echo "== clippy not installed; skipping lint step (build+test still gate)"
+    echo "== ERROR: clippy is not installed and XTK_SKIP_CLIPPY is not set" >&2
+    echo "   Install the clippy component (rustup component add clippy) or" >&2
+    echo "   explicitly opt out with XTK_SKIP_CLIPPY=1 ci.sh" >&2
+    exit 1
 fi
 
 echo "== ci.sh: all green"

@@ -43,7 +43,7 @@ fn main() {
             });
             let cc = encode_column(col, scheme);
             h.bench(format!("codec_decode_l{}/{scheme:?}", li + 1), || {
-                black_box(decode_column(&cc, &present))
+                black_box(decode_column(&cc, &present).unwrap())
             });
         }
         // And the adaptive choice.

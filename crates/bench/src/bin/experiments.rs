@@ -430,7 +430,8 @@ fn depth(o: &Opts) {
         });
         // Cold block reads: fresh store per query.
         let cold = DiskColumnStore::open(&path).unwrap();
-        let (_, _, reads) = join_search_disk(&ix, &cold, &q, &JoinOptions::default());
+        let (_, _, reads) =
+            join_search_disk(&ix, &cold, &q, &JoinOptions::default()).expect("disk search");
         let _ = &store;
         println!(
             "{:<22} {:>8} {:>8} {:>14} {:>14} {:>12}",

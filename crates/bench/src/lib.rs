@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Shared experiment harness: corpus construction at two scales, the
 //! planted query workloads for every figure, and timing utilities.
 //!

@@ -64,7 +64,10 @@ pub fn lowest_full_ancestor(
     }
     let mut u = v;
     while tree.depth(u) > depth {
-        u = tree.parent(u).expect("depth > target implies parent");
+        match tree.parent(u) {
+            Some(p) => u = p,
+            None => break, // unreachable: depth > target implies a parent
+        }
     }
     Some(u)
 }
@@ -77,10 +80,9 @@ pub fn indexed_search(ix: &XmlIndex, query: &Query, opts: &IndexedOptions) -> Ve
     }
     let tree = ix.tree();
     // Drive from the shortest list.
-    let shortest = terms
-        .iter()
-        .min_by_key(|t| t.len())
-        .expect("k >= 1");
+    let Some(shortest) = terms.iter().min_by_key(|t| t.len()) else {
+        return Vec::new();
+    };
 
     // Candidate generation: lowest full ancestor per driving occurrence.
     // Candidates arrive in non-decreasing... not exactly sorted, so sort +
@@ -106,9 +108,10 @@ pub fn indexed_search(ix: &XmlIndex, query: &Query, opts: &IndexedOptions) -> Ve
                     .get(i + 1)
                     .is_some_and(|&next| next > u && next < range.end);
                 if !has_desc {
+                    // Minimal candidates verify as SLCAs; fall back to an
+                    // unscored result on an inconsistent index.
                     let score = if opts.with_scores {
-                        verify_and_score(ix, &terms, u, Semantics::Slca)
-                            .expect("minimal candidates are SLCAs")
+                        verify_and_score(ix, &terms, u, Semantics::Slca).unwrap_or(0.0)
                     } else {
                         0.0
                     };

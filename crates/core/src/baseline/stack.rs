@@ -65,7 +65,7 @@ pub fn stack_search(ix: &XmlIndex, query: &Query, opts: &StackOptions) -> Vec<Sc
     let mut chain: Vec<NodeId> = Vec::new();
 
     let pop_one = |stack: &mut Vec<Frame>, results: &mut Vec<ScoredResult>| {
-        let f = stack.pop().expect("pop on non-empty stack");
+        let Some(f) = stack.pop() else { return };
         let is_rawfull = f.raw == full;
         let is_result = match opts.semantics {
             Semantics::Elca => f.eff == full,
@@ -94,8 +94,8 @@ pub fn stack_search(ix: &XmlIndex, query: &Query, opts: &StackOptions) -> Vec<Sc
     loop {
         // Next occurrence in document order across all lists.
         let mut next: Option<NodeId> = None;
-        for (i, t) in terms.iter().enumerate() {
-            if let Some(&n) = t.postings.get(ptr[i]) {
+        for (t, &p) in terms.iter().zip(&ptr) {
+            if let Some(&n) = t.postings.get(p) {
                 if next.is_none_or(|m| n < m) {
                     next = Some(n);
                 }
@@ -103,10 +103,10 @@ pub fn stack_search(ix: &XmlIndex, query: &Query, opts: &StackOptions) -> Vec<Sc
         }
         let Some(v) = next else { break };
         let mut mask = 0u32;
-        for (i, t) in terms.iter().enumerate() {
-            if t.postings.get(ptr[i]) == Some(&v) {
+        for (i, (t, p)) in terms.iter().zip(ptr.iter_mut()).enumerate() {
+            if t.postings.get(*p) == Some(&v) {
                 mask |= 1 << i;
-                ptr[i] += 1;
+                *p += 1;
             }
         }
         // Root-to-v chain.
@@ -119,19 +119,20 @@ pub fn stack_search(ix: &XmlIndex, query: &Query, opts: &StackOptions) -> Vec<Sc
         chain.reverse();
         // Longest common prefix with the stack.
         let mut common = 0;
-        while common < stack.len()
-            && common < chain.len()
-            && stack[common].node == chain[common]
+        while stack
+            .get(common)
+            .zip(chain.get(common))
+            .is_some_and(|(f, &c)| f.node == c)
         {
             common += 1;
         }
         while stack.len() > common {
             pop_one(&mut stack, &mut results);
         }
-        for &n in &chain[common..] {
+        for &n in chain.get(common..).unwrap_or(&[]) {
             stack.push(Frame { node: n, raw: 0, eff: 0, rawfull_child: false });
         }
-        let top = stack.last_mut().expect("chain is non-empty");
+        let Some(top) = stack.last_mut() else { continue };
         debug_assert_eq!(top.node, v);
         top.raw |= mask;
         top.eff |= mask;

@@ -24,6 +24,7 @@ use crate::eraser::Eraser;
 use crate::joinbased::{apply_match, JoinOptions, JoinStats};
 use crate::query::Query;
 use crate::result::ScoredResult;
+use std::io;
 use xtk_index::columnar::Run;
 use xtk_index::diskcol::DiskColumnStore;
 use xtk_index::{TermData, XmlIndex};
@@ -33,81 +34,94 @@ use xtk_index::{TermData, XmlIndex};
 /// `ix` supplies the document tree, the JDewey directory and the scoring
 /// data (in a deployed system those live beside the lists; the lists
 /// themselves are read from `store`).  Returns the results, the join
-/// statistics and the number of cache-missing block decodes.
+/// statistics and the number of cache-missing block decodes.  I/O errors
+/// and corrupt blocks surface as `Err` instead of panicking.
 pub fn join_search_disk(
     ix: &XmlIndex,
     store: &DiskColumnStore,
     query: &Query,
     opts: &JoinOptions,
-) -> (Vec<ScoredResult>, JoinStats, u64) {
+) -> io::Result<(Vec<ScoredResult>, JoinStats, u64)> {
     let reads_before = store.reads();
     let mut stats = JoinStats::default();
     let terms: Vec<&TermData> = query.terms.iter().map(|&t| ix.term(t)).collect();
     let k = terms.len();
     assert!(k >= 1, "query must have at least one keyword");
     if terms.iter().any(|t| t.is_empty()) {
-        return (Vec::new(), stats, 0);
+        return Ok((Vec::new(), stats, 0));
     }
-    let l0 = terms
-        .iter()
-        .map(|t| store.levels_of(&t.term))
-        .min()
-        .expect("k >= 1");
+    let l0 = terms.iter().map(|t| store.levels_of(&t.term)).min().unwrap_or(0);
     let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
     let mut results = Vec::new();
 
     for l in (1..=l0).rev() {
         stats.levels += 1;
-        let cols: Vec<_> = terms
-            .iter()
-            .map(|t| store.column(&t.term, l).expect("level <= levels_of"))
-            .collect();
+        // `l <= l0 <= levels_of(term)` for every term, so each lookup
+        // succeeds; the guard only defends against an inconsistent store.
+        let cols: Vec<_> =
+            terms.iter().filter_map(|t| store.column(&t.term, l)).collect();
+        if cols.len() != k {
+            continue;
+        }
         // Left-deep from the smallest column (by present-row count).
         let mut order: Vec<usize> = (0..k).collect();
-        order.sort_by_key(|&i| cols[i].row_count());
+        order.sort_by_key(|&i| cols.get(i).map_or(usize::MAX, |c| c.row_count()));
+        let (Some(&first_kw), Some(driver)) =
+            (order.first(), order.first().and_then(|&i| cols.get(i)))
+        else {
+            continue;
+        };
 
         // Drive with a scan of the smallest column.
-        let driver_runs = cols[order[0]].scan();
+        let driver_runs = driver.scan()?;
         // Matched values with per-keyword runs, keyword-indexed.
         let mut matched: Vec<(u32, Vec<Run>)> = driver_runs
             .iter()
             .map(|r| {
                 let mut per_kw = vec![Run { value: 0, start: 0, len: 0 }; k];
-                per_kw[order[0]] = *r;
+                if let Some(slot) = per_kw.get_mut(first_kw) {
+                    *slot = *r;
+                }
                 (r.value, per_kw)
             })
             .collect();
 
-        for &i in &order[1..] {
+        for &i in order.get(1..).unwrap_or(&[]) {
             if matched.is_empty() {
                 break;
             }
-            let col = &cols[i];
+            let Some(col) = cols.get(i) else { continue };
             // Index join when the intermediate is much smaller than the
             // column; a probe costs ~1 block decode (amortized).
             let use_index = matched.len() * 16 < col.row_count();
             if use_index {
                 stats.index_joins += 1;
-                matched.retain_mut(|(v, per_kw)| match col.find(*v) {
-                    Some(run) => {
-                        per_kw[i] = run;
-                        true
+                let mut next = Vec::with_capacity(matched.len());
+                for (v, mut per_kw) in matched {
+                    if let Some(run) = col.find(v)? {
+                        if let Some(slot) = per_kw.get_mut(i) {
+                            *slot = run;
+                        }
+                        next.push((v, per_kw));
                     }
-                    None => false,
-                });
+                }
+                matched = next;
             } else {
                 stats.merge_joins += 1;
-                let runs = col.scan();
+                let runs = col.scan()?;
                 let mut j = 0;
                 matched.retain_mut(|(v, per_kw)| {
-                    while j < runs.len() && runs[j].value < *v {
+                    while runs.get(j).is_some_and(|r| r.value < *v) {
                         j += 1;
                     }
-                    if j < runs.len() && runs[j].value == *v {
-                        per_kw[i] = runs[j];
-                        true
-                    } else {
-                        false
+                    match runs.get(j) {
+                        Some(r) if r.value == *v => {
+                            if let Some(slot) = per_kw.get_mut(i) {
+                                *slot = *r;
+                            }
+                            true
+                        }
+                        _ => false,
                     }
                 });
             }
@@ -120,7 +134,7 @@ pub fn join_search_disk(
             }
         }
     }
-    (results, stats, store.reads() - reads_before)
+    Ok((results, stats, store.reads() - reads_before))
 }
 
 #[cfg(test)]
@@ -162,7 +176,7 @@ mod tests {
                 for variant in [ElcaVariant::Operational, ElcaVariant::Formal] {
                     let opts = JoinOptions { semantics, variant, with_scores: true, ..Default::default() };
                     let (mem, _) = join_search(&ix, &q, &opts);
-                    let (disk, _, _) = join_search_disk(&ix, &store, &q, &opts);
+                    let (disk, _, _) = join_search_disk(&ix, &store, &q, &opts).unwrap();
                     assert_eq!(mem.len(), disk.len(), "{words:?} {semantics:?} {variant:?}");
                     let mut m = mem.clone();
                     let mut d = disk.clone();
@@ -189,9 +203,9 @@ mod tests {
         let (ix, store, path) = setup(&xml);
         let q = Query::from_words(&ix, &["common", "rare17"]).unwrap();
         let opts = JoinOptions::default();
-        let (_, _, reads1) = join_search_disk(&ix, &store, &q, &opts);
+        let (_, _, reads1) = join_search_disk(&ix, &store, &q, &opts).unwrap();
         assert!(reads1 > 0, "cold run must hit the disk");
-        let (_, _, reads2) = join_search_disk(&ix, &store, &q, &opts);
+        let (_, _, reads2) = join_search_disk(&ix, &store, &q, &opts).unwrap();
         assert_eq!(reads2, 0, "hot-cache run decodes nothing");
         std::fs::remove_file(path).ok();
     }
@@ -201,7 +215,7 @@ mod tests {
         let xml = corpus(500);
         let (ix, store, path) = setup(&xml);
         let q = Query::from_words(&ix, &["common", "rare3"]).unwrap();
-        let (_, stats, _) = join_search_disk(&ix, &store, &q, &JoinOptions::default());
+        let (_, stats, _) = join_search_disk(&ix, &store, &q, &JoinOptions::default()).unwrap();
         assert!(stats.levels >= 1);
         assert!(stats.merge_joins + stats.index_joins >= stats.levels / 2);
         std::fs::remove_file(path).ok();

@@ -99,21 +99,33 @@ pub fn explain(ix: &XmlIndex, query: &Query, opts: &JoinOptions) -> PlanReport {
     if terms.iter().any(|t| t.is_empty()) {
         return PlanReport { keywords, start_level: 0, levels: Vec::new() };
     }
-    let l0 = terms.iter().map(|t| t.max_len()).min().expect("k >= 1");
+    let l0 = terms.iter().map(|t| t.max_len()).min().unwrap_or(0);
     let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
     let mut results: Vec<ScoredResult> = Vec::new();
     let mut levels = Vec::new();
 
     for l in (1..=l0).rev() {
-        let cols: Vec<&Column> = terms.iter().map(|t| &t.columns[l as usize - 1]).collect();
+        let cols: Vec<&Column> = terms
+            .iter()
+            .filter_map(|t| (l as usize).checked_sub(1).and_then(|i| t.columns.get(i)))
+            .collect();
+        if cols.len() != k {
+            continue; // unreachable: every list reaches level l <= l0
+        }
         let mut order: Vec<usize> = (0..k).collect();
-        order.sort_by_key(|&i| cols[i].runs.len());
-        let driver = (terms[order[0]].term.to_string(), cols[order[0]].runs.len());
+        order.sort_by_key(|&i| cols.get(i).map_or(usize::MAX, |c| c.runs.len()));
+        let (Some(d_term), Some(d_col)) = (
+            order.first().and_then(|&i| terms.get(i)),
+            order.first().and_then(|&i| cols.get(i)),
+        ) else {
+            continue;
+        };
+        let driver = (d_term.term.to_string(), d_col.runs.len());
 
-        let mut values: Vec<u32> = cols[order[0]].runs.iter().map(|r| r.value).collect();
+        let mut values: Vec<u32> = d_col.runs.iter().map(|r| r.value).collect();
         let mut steps = Vec::new();
-        for &i in &order[1..] {
-            let col = cols[i];
+        for &i in order.get(1..).unwrap_or(&[]) {
+            let Some(col) = cols.get(i) else { continue };
             let input_values = values.len();
             let use_index = match opts.plan {
                 JoinPlan::MergeOnly => false,
@@ -130,20 +142,19 @@ pub fn explain(ix: &XmlIndex, query: &Query, opts: &JoinOptions) -> PlanReport {
                 let mut out = Vec::new();
                 let mut j = 0;
                 for &v in &values {
-                    while j < col.runs.len() && col.runs[j].value < v {
+                    while col.runs.get(j).is_some_and(|r| r.value < v) {
                         j += 1;
                     }
-                    if j == col.runs.len() {
-                        break;
-                    }
-                    if col.runs[j].value == v {
-                        out.push(v);
+                    match col.runs.get(j) {
+                        None => break,
+                        Some(r) if r.value == v => out.push(v),
+                        Some(_) => {}
                     }
                 }
                 values = out;
             }
             steps.push(JoinStep {
-                term: terms[i].term.to_string(),
+                term: terms.get(i).map(|t| t.term.to_string()).unwrap_or_default(),
                 column_runs: col.runs.len(),
                 input_values,
                 index_join: use_index,
@@ -154,10 +165,10 @@ pub fn explain(ix: &XmlIndex, query: &Query, opts: &JoinOptions) -> PlanReport {
         let matches = values.len();
         let before = results.len();
         for v in values {
-            let runs: Vec<Run> = cols
-                .iter()
-                .map(|c| *c.find(v).expect("joined value present in every column"))
-                .collect();
+            let runs: Vec<Run> = cols.iter().filter_map(|c| c.find(v).copied()).collect();
+            if runs.len() != cols.len() {
+                continue; // unreachable: v survived every join step
+            }
             apply_match(ix, &terms, &mut erasers, &runs, l, v, opts, &mut results);
         }
         levels.push(LevelPlan {

@@ -45,7 +45,7 @@ pub fn estimate_result_cardinality(ix: &XmlIndex, query: &Query) -> f64 {
     if terms.iter().any(|t| t.is_empty()) {
         return 0.0;
     }
-    let l0 = terms.iter().map(|t| t.max_len()).min().expect("k >= 1");
+    let l0 = terms.iter().map(|t| t.max_len()).min().unwrap_or(0);
     let mut total = 0.0f64;
     for l in [l0, l0.saturating_sub(1)] {
         if l == 0 {
@@ -60,11 +60,16 @@ pub fn estimate_result_cardinality(ix: &XmlIndex, query: &Query) -> f64 {
             total += xtk_index::histogram::Histogram::estimate_conjunction(&hists);
             continue;
         }
-        let cols: Vec<_> = terms.iter().map(|t| &t.columns[l as usize - 1]).collect();
-        let smallest = cols
+        let cols: Vec<_> = terms
             .iter()
-            .min_by_key(|c| c.runs.len())
-            .expect("k >= 1");
+            .filter_map(|t| (l as usize).checked_sub(1).and_then(|i| t.columns.get(i)))
+            .collect();
+        if cols.len() != terms.len() {
+            continue; // unreachable: every list reaches level l <= l0
+        }
+        let Some(smallest) = cols.iter().min_by_key(|c| c.runs.len()) else {
+            continue;
+        };
         let n = smallest.runs.len();
         if n == 0 {
             continue;
@@ -73,9 +78,9 @@ pub fn estimate_result_cardinality(ix: &XmlIndex, query: &Query) -> f64 {
         let mut probes = 0usize;
         let mut hits = 0usize;
         let mut i = 0;
-        while i < n {
+        while let Some(run) = smallest.runs.get(i) {
             probes += 1;
-            let v = smallest.runs[i].value;
+            let v = run.value;
             if cols.iter().all(|c| c.find(v).is_some()) {
                 hits += 1;
             }

@@ -121,24 +121,32 @@ pub fn join_search(
         return (Vec::new(), stats);
     }
     // No result can sit below the shallowest list's deepest level.
-    let l0 = terms.iter().map(|t| t.max_len()).min().expect("k >= 1");
+    let l0 = terms.iter().map(|t| t.max_len()).min().unwrap_or(0);
     let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
     let mut results = Vec::new();
 
     let workers = opts.parallelism.workers();
     for l in (1..=l0).rev() {
         stats.levels += 1;
-        let cols: Vec<&Column> = terms.iter().map(|t| &t.columns[l as usize - 1]).collect();
+        let cols: Vec<&Column> = terms
+            .iter()
+            .filter_map(|t| (l as usize).checked_sub(1).and_then(|i| t.columns.get(i)))
+            .collect();
+        if cols.len() != k {
+            continue; // unreachable: every list reaches level l <= l0
+        }
         let values = joined_values(&cols, opts.plan, opts.parallelism, &mut stats);
         if workers > 1 && values.len() >= PAR_MATCH_MIN {
             // Same-level runs of distinct values are disjoint, so the
             // range checks and scores computed against the level-entry
             // erasure state equal what the serial value-order loop sees.
             let evals = parallel_map(opts.parallelism, &values, |_, &v| {
-                let runs: Vec<Run> = cols
-                    .iter()
-                    .map(|c| *c.find(v).expect("joined value present in every column"))
-                    .collect();
+                // A joined value is present in every column by construction.
+                let runs: Vec<Run> =
+                    cols.iter().filter_map(|c| c.find(v).copied()).collect();
+                if runs.len() != cols.len() {
+                    return (runs, false, false, 0.0);
+                }
                 let (emit, erase, score) = evaluate_match(ix, &terms, &erasers, &runs, l, opts);
                 (runs, emit, erase, score)
             });
@@ -155,10 +163,11 @@ pub fn join_search(
                 stats.matches += 1;
                 // Per-keyword run for this value; present in all k by
                 // construction of the join.
-                let runs: Vec<Run> = cols
-                    .iter()
-                    .map(|c| *c.find(v).expect("joined value present in every column"))
-                    .collect();
+                let runs: Vec<Run> =
+                    cols.iter().filter_map(|c| c.find(v).copied()).collect();
+                if runs.len() != cols.len() {
+                    continue;
+                }
                 if apply_match(ix, &terms, &mut erasers, &runs, l, v, opts, &mut results) {
                     stats.results += 1;
                 }
@@ -245,16 +254,20 @@ fn commit_match(
     score: f32,
     results: &mut Vec<ScoredResult>,
 ) -> bool {
+    let mut emitted = false;
     if emit {
-        let node = ix.node_at(level, value).expect("matched value identifies a node");
-        results.push(ScoredResult { node, level, score });
+        // Every matched value identifies a node in a consistent index.
+        if let Some(node) = ix.node_at(level, value) {
+            results.push(ScoredResult { node, level, score });
+            emitted = true;
+        }
     }
     if erase {
         for (r, e) in runs.iter().zip(erasers.iter_mut()) {
             e.erase(r.start, r.end());
         }
     }
-    emit
+    emitted
 }
 
 /// Intersects the `k` columns on JDewey number, returning matched values in

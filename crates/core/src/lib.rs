@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The query engines of *"Supporting Top-K Keyword Search in XML
 //! Databases"* (Chen & Papakonstantinou, ICDE 2010).
 //!

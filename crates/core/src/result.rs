@@ -22,8 +22,7 @@ impl ScoredResult {
     pub fn rank_cmp(&self, other: &Self) -> std::cmp::Ordering {
         other
             .score
-            .partial_cmp(&self.score)
-            .expect("scores are finite")
+            .total_cmp(&self.score)
             .then(other.level.cmp(&self.level))
             .then(self.node.cmp(&other.node))
     }

@@ -114,10 +114,13 @@ pub fn naive_all_lcas(tree: &XmlTree, lists: &[&[NodeId]]) -> Vec<NodeId> {
         out: &mut std::collections::BTreeSet<NodeId>,
     ) {
         if i == lists.len() {
-            out.insert(cur.expect("at least one keyword"));
+            if let Some(c) = cur {
+                out.insert(c);
+            }
             return;
         }
-        for &v in lists[i] {
+        let Some(&list) = lists.get(i) else { return };
+        for &v in list {
             let next = match cur {
                 None => v,
                 Some(c) => tree.lca(c, v),

@@ -113,9 +113,12 @@ impl Bucket {
         // Case 1: results completely unseen in every relation.
         let mut best: f32 = s.iter().sum();
         // Case 2: one term per non-empty group.
-        let masks: Vec<u32> = self.groups.keys().copied().collect();
+        // Sorted for determinism: the max over group bounds is
+        // order-insensitive, but stale-entry eviction below mutates state.
+        let mut masks: Vec<u32> = self.groups.keys().copied().collect();
+        masks.sort_unstable();
         for mask in masks {
-            let heap = self.groups.get_mut(&mask).expect("key just listed");
+            let Some(heap) = self.groups.get_mut(&mask) else { continue };
             // Pop stale tops: the entry moved to another mask or completed.
             let ms = loop {
                 match heap.peek() {

@@ -135,14 +135,12 @@ impl<'a> Cursors<'a> {
             if seg.len < level {
                 continue;
             }
-            let h = &mut self.head[si];
-            while *h < seg.rows.len() && eraser.is_erased(seg.rows[*h]) {
+            let Some(h) = self.head.get_mut(si) else { continue };
+            while seg.rows.get(*h).is_some_and(|&r| eraser.is_erased(r)) {
                 *h += 1;
             }
-            if *h >= seg.rows.len() {
-                continue;
-            }
-            let g = self.term.scores[seg.rows[*h] as usize];
+            let Some(&row) = seg.rows.get(*h) else { continue };
+            let g = self.term.scores.get(row as usize).copied().unwrap_or(0.0);
             best = best.max(g * damping.factor(seg.len - level));
         }
         best
@@ -173,7 +171,9 @@ fn drain_batch(
     cap: usize,
 ) -> Drained {
     let mut pos = start_pos.to_vec();
-    let col = &term.columns[level as usize - 1];
+    let Some(col) = (level as usize).checked_sub(1).and_then(|i| term.columns.get(i)) else {
+        return (Vec::new(), pos);
+    };
     let mut out = Vec::new();
     while out.len() < cap {
         let mut best: Option<(usize, f32)> = None;
@@ -181,23 +181,31 @@ fn drain_batch(
             if seg.len < level {
                 continue;
             }
-            let p = &mut pos[si];
-            while *p < seg.rows.len() && eraser.is_erased(seg.rows[*p]) {
+            let Some(p) = pos.get_mut(si) else { continue };
+            while seg.rows.get(*p).is_some_and(|&r| eraser.is_erased(r)) {
                 *p += 1;
             }
-            if *p >= seg.rows.len() {
-                continue;
-            }
-            let g = term.scores[seg.rows[*p] as usize];
+            let Some(&row) = seg.rows.get(*p) else { continue };
+            let g = term.scores.get(row as usize).copied().unwrap_or(0.0);
             let damped = g * damping.factor(seg.len - level);
             if best.is_none_or(|(_, b)| damped > b) {
                 best = Some((si, damped));
             }
         }
         let Some((si, damped)) = best else { break };
-        let row = term.segments[si].rows[pos[si]];
-        pos[si] += 1;
-        let value = col.value_of_row(row).expect("retrieved row reaches this level");
+        let Some(&row) = term
+            .segments
+            .get(si)
+            .zip(pos.get(si))
+            .and_then(|(seg, &p)| seg.rows.get(p))
+        else {
+            break;
+        };
+        if let Some(p) = pos.get_mut(si) {
+            *p += 1;
+        }
+        // Retrieved rows reach this level by construction (seg.len >= level).
+        let Some(value) = col.value_of_row(row) else { break };
         out.push((row, damped, value));
     }
     (out, pos)
@@ -260,7 +268,7 @@ impl<'a> TopKStream<'a> {
         let l0 = if empty {
             0
         } else {
-            terms.iter().map(|t| t.max_len()).min().expect("k >= 1")
+            terms.iter().map(|t| t.max_len()).min().unwrap_or(0)
         };
         let cursors: Vec<Cursors> = terms.iter().map(|t| Cursors::new(t)).collect();
         let mut stream = Self {
@@ -302,14 +310,16 @@ impl<'a> TopKStream<'a> {
         self.stats.columns += 1;
         self.bucket = Bucket::new(self.terms.len());
         self.rr = 0;
-        for (i, c) in self.cursors.iter_mut().enumerate() {
+        for ((c, b), x) in
+            self.cursors.iter_mut().zip(self.batches.iter_mut()).zip(self.exhausted.iter_mut())
+        {
             c.reset_for_column();
-            self.batches[i].clear();
-            self.exhausted[i] = false;
+            b.clear();
+            *x = false;
         }
         self.ensure_heads();
-        for i in 0..self.terms.len() {
-            self.s_max_col[i] = self.batches[i].front().map(|&(_, d, _)| d).unwrap_or(0.0);
+        for (sm, b) in self.s_max_col.iter_mut().zip(&self.batches) {
+            *sm = b.front().map(|&(_, d, _)| d).unwrap_or(0.0);
         }
     }
 
@@ -375,7 +385,9 @@ impl<'a> TopKStream<'a> {
         let pick = if self.stats.candidates < self.k_hint as u64 {
             let mut p = self.rr % k;
             let mut spins = 0;
-            while s[p] == 0.0 && spins < k {
+            // Damped scores are non-negative; `<= 0.0` means "no live head"
+            // without an exact float comparison.
+            while s.get(p).copied().unwrap_or(0.0) <= 0.0 && spins < k {
                 p = (p + 1) % k;
                 spins += 1;
             }
@@ -383,28 +395,40 @@ impl<'a> TopKStream<'a> {
             p
         } else {
             let mut p = 0;
-            for i in 1..k {
-                if s[i] > s[p] {
+            let mut best = s.first().copied().unwrap_or(0.0);
+            for (i, &si) in s.iter().enumerate().skip(1) {
+                if si > best {
                     p = i;
+                    best = si;
                 }
             }
             p
         };
-        let (_row, damped, value) =
-            self.batches[pick].pop_front().expect("picked keyword has a live head");
+        let Some((_row, damped, value)) =
+            self.batches.get_mut(pick).and_then(|b| b.pop_front())
+        else {
+            // Unreachable when `pick` has a live head; treat as exhausted.
+            return false;
+        };
         self.stats.rows_retrieved += 1;
         if let Some(done) = self.bucket.insert(value, pick, damped) {
             self.stats.candidates += 1;
-            // Fetch the matched runs for the range check + erasure.
+            // Fetch the matched runs for the range check + erasure; a
+            // completed value is present in every column by construction.
             let runs: Vec<_> = self
                 .terms
                 .iter()
-                .map(|t| {
-                    *t.columns[l as usize - 1]
-                        .find(value)
-                        .expect("completed value present in every column")
+                .filter_map(|t| {
+                    (l as usize)
+                        .checked_sub(1)
+                        .and_then(|i| t.columns.get(i))
+                        .and_then(|c| c.find(value))
+                        .copied()
                 })
                 .collect();
+            if runs.len() != self.terms.len() {
+                return true; // inconsistent index; skip this candidate
+            }
             let accept = match self.semantics {
                 // Completion already implies one non-erased occurrence
                 // per keyword — the operational ELCA condition.
@@ -450,18 +474,20 @@ impl<'a> TopKStream<'a> {
                 continue;
             }
             let mut bound = 0.0f32;
-            for i in 0..k {
-                bound += self.cursors[i].future_max(lf, &self.erasers[i], damping);
+            for (c, e) in self.cursors.iter_mut().zip(&self.erasers) {
+                bound += c.future_max(lf, e, damping);
             }
             threshold = threshold.max(bound);
         }
         threshold
     }
 
-    fn emit(&mut self, score: f32, level: u16, value: u32) -> ScoredResult {
-        let node = self.ix.node_at(level, value).expect("value identifies a node");
+    fn emit(&mut self, score: f32, level: u16, value: u32) -> Option<ScoredResult> {
+        // `None` only on an inconsistent index (every accepted value names
+        // a node); the stream skips such entries instead of panicking.
+        let node = self.ix.node_at(level, value)?;
         self.emitted += 1;
-        ScoredResult { node, level, score }
+        Some(ScoredResult { node, level, score })
     }
 }
 
@@ -473,7 +499,10 @@ impl Iterator for TopKStream<'_> {
             if self.level == 0 {
                 // Every column processed: flush by score.
                 let (F32Ord(score), level, value) = self.pending.pop()?;
-                return Some(self.emit(score, level, value));
+                match self.emit(score, level, value) {
+                    Some(r) => return Some(r),
+                    None => continue,
+                }
             }
             if !self.step() {
                 // Column exhausted: move up.
@@ -492,8 +521,10 @@ impl Iterator for TopKStream<'_> {
             if let Some(&(F32Ord(score), level, value)) = self.pending.peek() {
                 if score >= threshold {
                     self.pending.pop();
-                    self.stats.emitted_early += 1;
-                    return Some(self.emit(score, level, value));
+                    if let Some(r) = self.emit(score, level, value) {
+                        self.stats.emitted_early += 1;
+                        return Some(r);
+                    }
                 }
             }
         }

@@ -18,7 +18,7 @@
 use crate::query::Semantics;
 use xtk_index::postings::postings_in_range;
 use xtk_index::{TermData, XmlIndex};
-use xtk_xml::tree::NodeId;
+use xtk_xml::tree::{NodeId, XmlTree};
 
 /// The raw-full children of `u`, as sorted arena-id ranges.
 ///
@@ -31,21 +31,22 @@ pub fn rawfull_child_ranges(
     u: NodeId,
 ) -> Vec<std::ops::Range<NodeId>> {
     let urange = ix.subtree_range(u);
-    let probe = terms
+    let Some(probe) = terms
         .iter()
         .min_by_key(|t| postings_in_range(&t.postings, urange.start, urange.end).len())
-        .expect("at least one keyword");
+    else {
+        return Vec::new();
+    };
     let slice = postings_in_range(&probe.postings, urange.start, urange.end);
     let mut out: Vec<std::ops::Range<NodeId>> = Vec::new();
     for &x in slice {
         if x == u {
             continue;
         }
-        // The child of u on the path to x.
-        let mut c = x;
-        while ix.tree().parent(c) != Some(u) {
-            c = ix.tree().parent(c).expect("x is below u");
-        }
+        // The child of u on the path to x; occurrences outside u's subtree
+        // cannot happen (the slice is range-restricted), so a missing path
+        // is skipped rather than unwrapped.
+        let Some(c) = child_on_path(ix.tree(), u, x) else { continue };
         // Occurrences inside one child are doc-order contiguous, so a
         // repeat of the previous child is skipped cheaply.
         if out.last().is_some_and(|r| r.contains(&c)) {
@@ -60,6 +61,19 @@ pub fn rawfull_child_ranges(
         }
     }
     out
+}
+
+/// The child of `u` on the root path of `x`, or `None` when `x` is not a
+/// strict descendant of `u`.
+fn child_on_path(tree: &XmlTree, u: NodeId, x: NodeId) -> Option<NodeId> {
+    let mut c = x;
+    loop {
+        let p = tree.parent(c)?;
+        if p == u {
+            return Some(c);
+        }
+        c = p;
+    }
 }
 
 /// Verifies `u` under the formal semantics and computes its ranking score.
@@ -92,21 +106,24 @@ pub fn verify_and_score(
         let mut best = 0.0f32;
         let mut ei = 0;
         for &x in slice {
-            while ei < excluded.len() && excluded[ei].end <= x {
+            while excluded.get(ei).is_some_and(|r| r.end <= x) {
                 ei += 1;
             }
-            if ei < excluded.len() && excluded[ei].contains(&x) {
+            if excluded.get(ei).is_some_and(|r| r.contains(&x)) {
                 continue;
             }
-            let row = t.postings.partition_point(|&p| p < x) as u32;
-            debug_assert_eq!(t.postings[row as usize], x);
-            let damped = damping.damp(t.scores[row as usize], ix.tree().depth(x), level);
+            let row = t.postings.partition_point(|&p| p < x);
+            debug_assert_eq!(t.postings.get(row), Some(&x));
+            let g = t.scores.get(row).copied().unwrap_or(0.0);
+            let damped = damping.damp(g, ix.tree().depth(x), level);
             if damped > best {
                 best = damped;
             }
         }
-        if best == 0.0 {
-            return None; // every occurrence of this keyword is excluded
+        // Local scores are positive, so `best <= 0.0` means every
+        // occurrence of this keyword was excluded (no float equality).
+        if best <= 0.0 {
+            return None;
         }
         total += best;
     }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Deterministic corpus and workload generation for the `xtk` experiments.
 //!
 //! The paper evaluates on DBLP (496 MB, re-grouped conference → year →

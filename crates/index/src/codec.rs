@@ -75,17 +75,8 @@ pub fn write_varint(mut v: u32, out: &mut Vec<u8>) {
     }
 }
 
-/// Reads a LEB128 varint, advancing `pos`.
-///
-/// # Panics
-/// Panics on truncated input; use [`try_read_varint`] when the bytes come
-/// from an untrusted source (e.g. a file).
-pub fn read_varint(bytes: &[u8], pos: &mut usize) -> u32 {
-    try_read_varint(bytes, pos).expect("malformed varint")
-}
-
-/// Fallible LEB128 read: `None` on truncation or a varint longer than a
-/// `u32` allows.
+/// Reads a LEB128 varint, advancing `pos`: `None` on truncation or a
+/// varint longer than a `u32` allows.
 pub fn try_read_varint(bytes: &[u8], pos: &mut usize) -> Option<u32> {
     let mut v = 0u32;
     let mut shift = 0;
@@ -135,15 +126,21 @@ pub fn encode_column(col: &Column, scheme: Scheme) -> CompressedColumn {
         Scheme::Delta => {
             for run in &col.runs {
                 for _ in 0..run.len {
-                    if prev.is_none() || bytes.len() - block_start >= BLOCK_SIZE {
-                        block_start = bytes.len();
-                        begin_block(&mut bytes, &mut block_offsets, &mut block_first_values, run.value);
-                        prev = Some(run.value);
-                    } else {
-                        let p = prev.unwrap();
-                        write_varint(run.value - p, &mut bytes);
-                        prev = Some(run.value);
+                    match prev {
+                        Some(p) if bytes.len() - block_start < BLOCK_SIZE => {
+                            write_varint(run.value - p, &mut bytes);
+                        }
+                        _ => {
+                            block_start = bytes.len();
+                            begin_block(
+                                &mut bytes,
+                                &mut block_offsets,
+                                &mut block_first_values,
+                                run.value,
+                            );
+                        }
                     }
+                    prev = Some(run.value);
                 }
             }
         }
@@ -176,50 +173,65 @@ pub fn encode_column(col: &Column, scheme: Scheme) -> CompressedColumn {
 /// `present_rows` are the global row ids present at this level (rows whose
 /// posting depth reaches the level), in order; it drives the
 /// reconstruction of exact global-row runs.
-pub fn decode_column(cc: &CompressedColumn, present_rows: &[u32]) -> Column {
+///
+/// Returns `None` when the payload is malformed (truncated block header or
+/// varint, or a row count that disagrees with `present_rows`), so callers
+/// reading untrusted bytes can reject corruption without a panic.
+pub fn decode_column(cc: &CompressedColumn, present_rows: &[u32]) -> Option<Column> {
     let mut runs: Vec<Run> = Vec::new();
     let mut row_iter = present_rows.iter().copied();
-    let push = |value: u32, count: u32, runs: &mut Vec<Run>, row_iter: &mut dyn Iterator<Item = u32>| {
+    let push = |value: u32,
+                count: u32,
+                runs: &mut Vec<Run>,
+                row_iter: &mut dyn Iterator<Item = u32>|
+     -> Option<()> {
         for _ in 0..count {
-            let row = row_iter.next().expect("present_rows shorter than encoded column");
+            let row = row_iter.next()?;
             match runs.last_mut() {
                 Some(last) if last.value == value && last.end() == row => last.len += 1,
                 _ => runs.push(Run { value, start: row, len: 1 }),
             }
         }
+        Some(())
     };
 
     let nblocks = cc.block_offsets.len();
     for b in 0..nblocks {
-        let start = cc.block_offsets[b] as usize;
-        let end = if b + 1 < nblocks { cc.block_offsets[b + 1] as usize } else { cc.bytes.len() };
+        let start = *cc.block_offsets.get(b)? as usize;
+        let end = match cc.block_offsets.get(b + 1) {
+            Some(&o) => o as usize,
+            None => cc.bytes.len(),
+        };
         let mut pos = start;
-        let mut prev = u32::from_le_bytes(cc.bytes[pos..pos + 4].try_into().expect("block header"));
+        let header: [u8; 4] = cc.bytes.get(pos..pos.checked_add(4)?)?.try_into().ok()?;
+        let mut prev = u32::from_le_bytes(header);
         pos += 4;
         match cc.scheme {
             Scheme::Delta => {
-                push(prev, 1, &mut runs, &mut row_iter);
+                push(prev, 1, &mut runs, &mut row_iter)?;
                 while pos < end {
-                    let delta = read_varint(&cc.bytes, &mut pos);
-                    prev += delta;
-                    push(prev, 1, &mut runs, &mut row_iter);
+                    let delta = try_read_varint(&cc.bytes, &mut pos)?;
+                    prev = prev.checked_add(delta)?;
+                    push(prev, 1, &mut runs, &mut row_iter)?;
                 }
             }
             Scheme::Rle => {
                 let mut first = true;
                 while pos < end {
                     if !first {
-                        prev += read_varint(&cc.bytes, &mut pos);
+                        prev = prev.checked_add(try_read_varint(&cc.bytes, &mut pos)?)?;
                     }
                     first = false;
-                    let len = read_varint(&cc.bytes, &mut pos);
-                    push(prev, len, &mut runs, &mut row_iter);
+                    let len = try_read_varint(&cc.bytes, &mut pos)?;
+                    push(prev, len, &mut runs, &mut row_iter)?;
                 }
             }
         }
     }
-    debug_assert!(row_iter.next().is_none(), "present_rows longer than encoded column");
-    Column { runs }
+    if row_iter.next().is_some() {
+        return None; // present_rows longer than the encoded column
+    }
+    Some(Column { runs })
 }
 
 #[cfg(test)]
@@ -245,7 +257,7 @@ mod tests {
         }
         let mut pos = 0;
         for &v in &values {
-            assert_eq!(read_varint(&buf, &mut pos), v);
+            assert_eq!(try_read_varint(&buf, &mut pos), Some(v));
         }
         assert_eq!(pos, buf.len());
     }
@@ -254,14 +266,14 @@ mod tests {
     fn delta_roundtrip_dense_rows() {
         let c = col(&[(3, 0, 1), (7, 1, 1), (8, 2, 1), (20, 3, 1)]);
         let cc = encode_column(&c, Scheme::Delta);
-        assert_eq!(decode_column(&cc, &present_rows(&c)), c);
+        assert_eq!(decode_column(&cc, &present_rows(&c)), Some(c));
     }
 
     #[test]
     fn rle_roundtrip_with_duplicates() {
         let c = col(&[(2, 0, 5), (4, 5, 1), (9, 6, 10)]);
         let cc = encode_column(&c, Scheme::Rle);
-        assert_eq!(decode_column(&cc, &present_rows(&c)), c);
+        assert_eq!(decode_column(&cc, &present_rows(&c)).as_ref(), Some(&c));
         // RLE of 16 rows in 3 runs is much smaller than one entry per row.
         let dd = encode_column(&c, Scheme::Delta);
         assert!(cc.payload_bytes() < dd.payload_bytes());
@@ -273,7 +285,7 @@ mod tests {
         let c = col(&[(5, 0, 2), (6, 3, 2)]);
         for scheme in [Scheme::Delta, Scheme::Rle] {
             let cc = encode_column(&c, scheme);
-            assert_eq!(decode_column(&cc, &[0, 1, 3, 4]), c, "{scheme:?}");
+            assert_eq!(decode_column(&cc, &[0, 1, 3, 4]).as_ref(), Some(&c), "{scheme:?}");
         }
     }
 
@@ -283,7 +295,7 @@ mod tests {
         // real JDewey columns but the codec must not merge them).
         let c = col(&[(5, 0, 2), (5, 3, 1)]);
         let cc = encode_column(&c, Scheme::Rle);
-        assert_eq!(decode_column(&cc, &[0, 1, 3]), c);
+        assert_eq!(decode_column(&cc, &[0, 1, 3]), Some(c));
     }
 
     #[test]
@@ -299,7 +311,7 @@ mod tests {
             let v = u32::from_le_bytes(cc.bytes[off as usize..off as usize + 4].try_into().unwrap());
             assert_eq!(v, cc.block_first_values[b]);
         }
-        assert_eq!(decode_column(&cc, &present_rows(&c)), c);
+        assert_eq!(decode_column(&cc, &present_rows(&c)), Some(c));
     }
 
     #[test]
@@ -316,7 +328,7 @@ mod tests {
         for scheme in [Scheme::Delta, Scheme::Rle] {
             let cc = encode_column(&c, scheme);
             assert_eq!(cc.payload_bytes(), 0);
-            assert_eq!(decode_column(&cc, &[]), c);
+            assert_eq!(decode_column(&cc, &[]).as_ref(), Some(&c));
         }
     }
 }

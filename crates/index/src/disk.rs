@@ -176,7 +176,9 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
             let raw = r.take(4 * n_postings, "scores")?;
             let mut s = Vec::with_capacity(n_postings);
             for c in raw.chunks_exact(4) {
-                s.push(f32::from_le_bytes(c.try_into().expect("chunk of 4")));
+                let mut le = [0u8; 4];
+                le.copy_from_slice(c);
+                s.push(f32::from_le_bytes(le));
             }
             Some(s)
         } else {
@@ -238,17 +240,8 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
 /// Decode with corruption mapped to an error (a block whose contents do
 /// not line up with the lengths array indicates a damaged file).
 fn try_decode(cc: &CompressedColumn, present: &[u32]) -> io::Result<crate::columnar::Column> {
-    // The codec's decode panics on inconsistent inputs; validate the row
-    // budget first: every block needs a 4-byte header, and the total
-    // decoded row count must equal `present.len()`.
-    for b in 0..cc.block_offsets.len() {
-        let start = cc.block_offsets[b] as usize;
-        if start + 4 > cc.bytes.len() {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated block"));
-        }
-    }
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| decode_column(cc, present)))
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "inconsistent column payload"))
+    decode_column(cc, present)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "inconsistent column payload"))
 }
 
 struct CountingWriter<W: Write> {

@@ -13,7 +13,7 @@
 //! A tiny block cache emulates the paper's hot-cache setting and counts
 //! block reads so experiments can report I/O.
 
-use crate::codec::{read_varint, Scheme};
+use crate::codec::{try_read_varint, Scheme};
 use crate::disk::ByteReader;
 use crate::columnar::Run;
 use std::cell::RefCell;
@@ -21,6 +21,10 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::Path;
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt index file: {what}"))
+}
 
 /// Byte span plus metadata for one column inside the index file.
 #[derive(Debug, Clone)]
@@ -149,9 +153,12 @@ impl DiskColumnStore {
         })
     }
 
-    /// The terms available in the store.
-    pub fn term_names(&self) -> impl Iterator<Item = &str> {
-        self.terms.keys().map(String::as_str)
+    /// The terms available in the store, in sorted order (the backing map
+    /// is hashed, so sorting keeps every listing deterministic).
+    pub fn term_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.terms.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
     }
 
     /// Number of levels stored for `term` (0 when absent).
@@ -178,57 +185,76 @@ impl DiskColumnStore {
     /// require knowing how many present rows precede the block, which is
     /// reconstructed by decoding preceding blocks once (they then sit in
     /// the cache); `row_base` carries that prefix count.
-    fn decode_block(&self, meta: &ColumnMeta, b: usize, row_base: u32) -> Vec<Run> {
-        let key = (meta.blocks[b].0, row_base);
+    fn decode_block(&self, meta: &ColumnMeta, b: usize, row_base: u32) -> io::Result<Vec<Run>> {
+        let Some(&(start, _, _)) = meta.blocks.get(b) else {
+            return Err(bad("block index out of range"));
+        };
+        let key = (start, row_base);
         if let Some(runs) = self.cache.borrow().get(&key) {
-            return runs.clone();
+            return Ok(runs.clone());
         }
         *self.block_reads.borrow_mut() += 1;
-        let start = meta.blocks[b].0;
-        let end = if b + 1 < meta.blocks.len() { meta.blocks[b + 1].0 } else { meta.end };
-        let mut buf = vec![0u8; (end - start) as usize];
+        let end = match meta.blocks.get(b + 1) {
+            Some(&(next, _, _)) => next,
+            None => meta.end,
+        };
+        let len = end.checked_sub(start).ok_or_else(|| bad("block offsets not ascending"))?;
+        let mut buf = vec![0u8; len as usize];
         {
             let mut f = self.file.borrow_mut();
-            f.seek(SeekFrom::Start(start)).expect("seek");
-            f.read_exact(&mut buf).expect("read block");
+            f.seek(SeekFrom::Start(start))?;
+            f.read_exact(&mut buf)?;
         }
-        let mut pos = 0usize;
-        let mut prev = u32::from_le_bytes(buf[0..4].try_into().expect("block header"));
-        pos += 4;
+        let mut pos = 4usize;
+        let mut prev = match buf.first_chunk::<4>() {
+            Some(le) => u32::from_le_bytes(*le),
+            None => return Err(bad("truncated block header")),
+        };
         let mut runs: Vec<Run> = Vec::new();
         let mut ordinal = row_base;
-        let push = |value: u32, count: u32, runs: &mut Vec<Run>, ordinal: &mut u32| {
+        let push = |value: u32, count: u32, runs: &mut Vec<Run>, ordinal: &mut u32| -> io::Result<()> {
             for _ in 0..count {
-                let row = meta.present_rows[*ordinal as usize];
+                let row = *meta
+                    .present_rows
+                    .get(*ordinal as usize)
+                    .ok_or_else(|| bad("block rows exceed lengths array"))?;
                 *ordinal += 1;
                 match runs.last_mut() {
                     Some(last) if last.value == value && last.end() == row => last.len += 1,
                     _ => runs.push(Run { value, start: row, len: 1 }),
                 }
             }
+            Ok(())
+        };
+        let varint = |buf: &[u8], pos: &mut usize| -> io::Result<u32> {
+            try_read_varint(buf, pos).ok_or_else(|| bad("truncated varint"))
         };
         match meta.scheme {
             Scheme::Delta => {
-                push(prev, 1, &mut runs, &mut ordinal);
+                push(prev, 1, &mut runs, &mut ordinal)?;
                 while pos < buf.len() {
-                    prev += read_varint(&buf, &mut pos);
-                    push(prev, 1, &mut runs, &mut ordinal);
+                    prev = prev
+                        .checked_add(varint(&buf, &mut pos)?)
+                        .ok_or_else(|| bad("value overflow"))?;
+                    push(prev, 1, &mut runs, &mut ordinal)?;
                 }
             }
             Scheme::Rle => {
                 let mut first = true;
                 while pos < buf.len() {
                     if !first {
-                        prev += read_varint(&buf, &mut pos);
+                        prev = prev
+                            .checked_add(varint(&buf, &mut pos)?)
+                            .ok_or_else(|| bad("value overflow"))?;
                     }
                     first = false;
-                    let len = read_varint(&buf, &mut pos);
-                    push(prev, len, &mut runs, &mut ordinal);
+                    let len = varint(&buf, &mut pos)?;
+                    push(prev, len, &mut runs, &mut ordinal)?;
                 }
             }
         }
         self.cache.borrow_mut().insert(key, runs.clone());
-        runs
+        Ok(runs)
     }
 }
 
@@ -250,16 +276,16 @@ impl DiskColumn<'_> {
     }
 
     /// Decodes the whole column in block order (the merge-join access
-    /// pattern).
-    pub fn scan(&self) -> Vec<Run> {
+    /// pattern).  Corrupt blocks surface as `InvalidData` errors.
+    pub fn scan(&self) -> io::Result<Vec<Run>> {
         let mut out = Vec::new();
         let mut row_base = 0u32;
         for b in 0..self.meta.blocks.len() {
-            let runs = self.store.decode_block(self.meta, b, row_base);
+            let runs = self.store.decode_block(self.meta, b, row_base)?;
             row_base += runs.iter().map(|r| r.len).sum::<u32>();
             out.extend(runs);
         }
-        out
+        Ok(out)
     }
 
     /// Finds the run for a JDewey `value`, decoding only the block the
@@ -270,23 +296,28 @@ impl DiskColumn<'_> {
     /// preceding blocks of *this* column are decoded on first touch and
     /// cached (matching the paper's hot-cache regime, where a column
     /// touched by a query is quickly memory-resident).
-    pub fn find(&self, value: u32) -> Option<Run> {
-        let b = {
-            let idx = self.meta.blocks.partition_point(|&(_, first, _)| first <= value);
-            idx.checked_sub(1)?
+    pub fn find(&self, value: u32) -> io::Result<Option<Run>> {
+        let idx = self.meta.blocks.partition_point(|&(_, first, _)| first <= value);
+        let Some(b) = idx.checked_sub(1) else {
+            return Ok(None);
         };
         // Row prefix: decode preceding blocks (cached after first touch).
         let mut row_base = 0u32;
         for p in 0..b {
             row_base += self
                 .store
-                .decode_block(self.meta, p, row_base)
+                .decode_block(self.meta, p, row_base)?
                 .iter()
                 .map(|r| r.len)
                 .sum::<u32>();
         }
-        let runs = self.store.decode_block(self.meta, b, row_base);
-        runs.binary_search_by_key(&value, |r| r.value).ok().map(|i| runs[i])
+        let runs = self.store.decode_block(self.meta, b, row_base)?;
+        let found = runs
+            .binary_search_by_key(&value, |r| r.value)
+            .ok()
+            .and_then(|i| runs.get(i))
+            .copied();
+        Ok(found)
     }
 }
 
@@ -316,7 +347,7 @@ mod tests {
         for (_, term) in ix.terms() {
             for (li, col) in term.columns.iter().enumerate() {
                 let dc = store.column(&term.term, (li + 1) as u16).unwrap();
-                assert_eq!(dc.scan(), col.runs, "term {} level {}", term.term, li + 1);
+                assert_eq!(dc.scan().unwrap(), col.runs, "term {} level {}", term.term, li + 1);
             }
         }
         std::fs::remove_file(path).ok();
@@ -328,9 +359,9 @@ mod tests {
         let term = ix.term_by_str("shared").unwrap();
         let dc = store.column("shared", 3).unwrap();
         for run in &term.columns[2].runs {
-            assert_eq!(dc.find(run.value), Some(*run));
+            assert_eq!(dc.find(run.value).unwrap(), Some(*run));
         }
-        assert_eq!(dc.find(999_999), None);
+        assert_eq!(dc.find(999_999).unwrap(), None);
         std::fs::remove_file(path).ok();
     }
 
@@ -338,10 +369,10 @@ mod tests {
     fn block_reads_are_counted_and_cached() {
         let (_ix, store, path) = store();
         let dc = store.column("shared", 3).unwrap();
-        let _ = dc.scan();
+        dc.scan().unwrap();
         let first = store.reads();
         assert!(first >= 1);
-        let _ = dc.scan();
+        dc.scan().unwrap();
         assert_eq!(store.reads(), first, "second scan served from cache");
         std::fs::remove_file(path).ok();
     }

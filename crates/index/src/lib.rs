@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Indexing substrate for `xtk` — everything between the XML tree and the
 //! query algorithms of `xtk-core`.
 //!

@@ -33,20 +33,19 @@ pub fn build_segments(tree: &XmlTree, postings: &[NodeId], scores: &[f32]) -> Ve
         if by_len.len() < d {
             by_len.resize(d, Vec::new());
         }
-        by_len[d - 1].push(row as u32);
+        let Some(bucket) = d.checked_sub(1).and_then(|i| by_len.get_mut(i)) else {
+            continue; // depth 0 cannot occur (root has depth 1)
+        };
+        bucket.push(row as u32);
     }
+    let score_of = |row: u32| scores.get(row as usize).copied().unwrap_or(f32::NEG_INFINITY);
     let mut segments = Vec::new();
     for (i, mut rows) in by_len.into_iter().enumerate() {
         if rows.is_empty() {
             continue;
         }
-        rows.sort_by(|&a, &b| {
-            scores[b as usize]
-                .partial_cmp(&scores[a as usize])
-                .expect("scores are finite")
-                .then(a.cmp(&b))
-        });
-        let max_score = scores[rows[0] as usize];
+        rows.sort_by(|&a, &b| score_of(b).total_cmp(&score_of(a)).then(a.cmp(&b)));
+        let max_score = rows.first().map_or(0.0, |&r| score_of(r));
         segments.push(Segment { len: (i + 1) as u16, rows, max_score });
     }
     segments
@@ -56,12 +55,8 @@ pub fn build_segments(tree: &XmlTree, postings: &[NodeId], scores: &[f32]) -> Ve
 /// list in raw local-score order regardless of depth).
 pub fn score_order(scores: &[f32]) -> Vec<u32> {
     let mut rows: Vec<u32> = (0..scores.len() as u32).collect();
-    rows.sort_by(|&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .expect("scores are finite")
-            .then(a.cmp(&b))
-    });
+    let score_of = |row: u32| scores.get(row as usize).copied().unwrap_or(f32::NEG_INFINITY);
+    rows.sort_by(|&a, &b| score_of(b).total_cmp(&score_of(a)).then(a.cmp(&b)));
     rows
 }
 

@@ -1,0 +1,6 @@
+// Fixture: float equality in a query-execution module.  Expected:
+// `float-eq` hard finding.
+
+pub fn score_is_half(score: f32) -> bool {
+    score == 0.5
+}

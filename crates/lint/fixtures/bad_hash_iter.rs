@@ -1,0 +1,13 @@
+// Fixture: hash-order leakage in a query-execution module — iteration
+// order flows straight into the output vector.  Expected: one `hash-iter`
+// hard finding.
+
+use std::collections::HashMap;
+
+pub fn leak_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (key, _) in m.iter() {
+        out.push(*key);
+    }
+    out
+}

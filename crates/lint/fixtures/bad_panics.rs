@@ -1,0 +1,16 @@
+// Fixture: library code riddled with L1 violations.  Never compiled;
+// read by tests/fixtures.rs.  Expected counts: 4 panic sites, 1 indexing
+// site.
+
+pub fn worst(v: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = o.expect("present");
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    let c = v[0];
+    if a + b + c > 100 {
+        todo!()
+    }
+    a + b + c
+}

@@ -1,0 +1,8 @@
+// Fixture: wall-clock time inside a query-execution module.  Expected:
+// `time` hard finding(s).
+
+pub fn elapsed_ms(work: impl FnOnce()) -> u128 {
+    let t = std::time::Instant::now();
+    work();
+    t.elapsed().as_millis()
+}

@@ -1,0 +1,23 @@
+// Fixture: clean library code — fallible accessors, test-only unwraps,
+// and an annotated index.  Expected counts: 0 panic sites, 0 indexing
+// sites.
+
+/// Callers may write `f(&v).unwrap()` — doc mentions are not findings.
+pub fn f(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn g(v: &[u32]) -> u32 {
+    debug_assert!(!v.is_empty());
+    // lint:allow(index) bounds established by every caller
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_f() {
+        let v = [1u32, 2, 3];
+        assert_eq!(super::f(&v).unwrap(), v[0]);
+    }
+}

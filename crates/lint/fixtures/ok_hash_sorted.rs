@@ -1,0 +1,18 @@
+// Fixture: hash iteration made deterministic — sorted before use, or
+// consumed by an order-independent aggregate.  Expected: no findings.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn ordered_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn total(m: &HashMap<u32, u32>) -> u64 {
+    m.values().map(|&v| v as u64).sum()
+}
+
+pub fn cardinality(s: &HashSet<u32>) -> usize {
+    s.iter().count()
+}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root whose `#![forbid(unsafe_code)]` was removed.
+//! Expected: `forbid-unsafe` hard finding.
+
+pub fn nothing() {}

@@ -1,0 +1,4 @@
+//! Fixture: a well-formed crate root.  Expected: no findings.
+#![forbid(unsafe_code)]
+
+pub fn nothing() {}

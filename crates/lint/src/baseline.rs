@@ -1,0 +1,281 @@
+//! The ratchet baseline: per-file L1 counts committed as
+//! `lint-baseline.json`.
+//!
+//! The file is a deliberately tiny JSON subset — written and read by this
+//! module with no dependencies, like the rest of the crate:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "files": {
+//!     "crates/core/src/topk.rs": [0, 12]
+//!   }
+//! }
+//! ```
+//!
+//! Each entry maps a repo-relative path to `[panic_sites, index_sites]`.
+//! Files with `[0, 0]` are omitted; a missing entry means zero is the
+//! budget.  The gate fails only when a file *exceeds* its budget, so the
+//! count can only stay flat or go down — a ratchet.
+
+use std::collections::BTreeMap;
+
+/// Parsed `lint-baseline.json`.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub version: u32,
+    /// path → (panic_sites, index_sites); sorted for stable serialization.
+    pub files: BTreeMap<String, (u32, u32)>,
+}
+
+impl Baseline {
+    /// Total `(panic_sites, index_sites)` over every file.
+    pub fn totals(&self) -> (u32, u32) {
+        self.files
+            .values()
+            .fold((0, 0), |(p, x), &(fp, fx)| (p + fp, x + fx))
+    }
+
+    /// Serializes with sorted keys and a trailing newline, so the file
+    /// diffs cleanly.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": ");
+        s.push_str(&self.version.to_string());
+        s.push_str(",\n  \"files\": {");
+        let last = self.files.len();
+        for (i, (path, (p, x))) in self.files.iter().enumerate() {
+            s.push_str("\n    \"");
+            for c in path.chars() {
+                match c {
+                    '"' => s.push_str("\\\""),
+                    '\\' => s.push_str("\\\\"),
+                    _ => s.push(c),
+                }
+            }
+            s.push_str("\": [");
+            s.push_str(&p.to_string());
+            s.push_str(", ");
+            s.push_str(&x.to_string());
+            s.push(']');
+            if i + 1 < last {
+                s.push(',');
+            }
+        }
+        if last > 0 {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parses the JSON subset written by [`Baseline::to_json`] (tolerant
+    /// of reformatting, intolerant of anything outside the subset).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser { b: text.as_bytes(), pos: 0 };
+        let mut out = Baseline::default();
+        p.eat(b'{')?;
+        loop {
+            p.ws();
+            if p.peek() == Some(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.eat(b':')?;
+            match key.as_str() {
+                "version" => out.version = p.number()?,
+                "files" => {
+                    p.eat(b'{')?;
+                    loop {
+                        p.ws();
+                        if p.peek() == Some(b'}') {
+                            p.pos += 1;
+                            break;
+                        }
+                        let path = p.string()?;
+                        p.eat(b':')?;
+                        p.eat(b'[')?;
+                        let panics = p.number()?;
+                        p.eat(b',')?;
+                        let index = p.number()?;
+                        p.eat(b']')?;
+                        out.files.insert(path, (panics, index));
+                        p.ws();
+                        if p.peek() == Some(b',') {
+                            p.pos += 1;
+                        }
+                    }
+                }
+                other => return Err(format!("unknown key `{other}` in lint-baseline.json")),
+            }
+            p.ws();
+            if p.peek() == Some(b',') {
+                p.pos += 1;
+            }
+        }
+        if out.version != 1 {
+            return Err(format!(
+                "unsupported lint-baseline.json version {} (expected 1)",
+                out.version
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Compares fresh per-file counts against the baseline; returns one
+/// message per file whose budget is exceeded.
+pub fn regressions(
+    current: &BTreeMap<String, (u32, u32)>,
+    base: &Baseline,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (path, &(p, x)) in current {
+        let (bp, bx) = base.files.get(path).copied().unwrap_or((0, 0));
+        if p > bp || x > bx {
+            out.push(format!(
+                "{path}: L1 regression — panic sites {p} (budget {bp}), \
+                 indexing sites {x} (budget {bx})"
+            ));
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "lint-baseline.json: expected `{}` at byte {}",
+                c as char, self.pos
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        other => {
+                            return Err(format!(
+                                "lint-baseline.json: unsupported escape {:?} at byte {}",
+                                other.map(|c| c as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    s.push(c as char);
+                    self.pos += 1;
+                }
+                None => return Err("lint-baseline.json: unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, String> {
+        self.ws();
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if !c.is_ascii_digit() {
+                break;
+            }
+            any = true;
+            n = n
+                .checked_mul(10)
+                .and_then(|m| m.checked_add((c - b'0') as u32))
+                .ok_or_else(|| format!("lint-baseline.json: number overflow at byte {}", self.pos))?;
+            self.pos += 1;
+        }
+        if any {
+            Ok(n)
+        } else {
+            Err(format!("lint-baseline.json: expected a number at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        let mut b = Baseline { version: 1, files: BTreeMap::new() };
+        b.files.insert("crates/core/src/topk.rs".to_string(), (2, 7));
+        b.files.insert("crates/xml/src/parser.rs".to_string(), (0, 3));
+        b
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = sample();
+        let json = b.to_json();
+        let parsed = Baseline::parse(&json).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.totals(), (2, 10));
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let b = Baseline { version: 1, files: BTreeMap::new() };
+        assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("").is_err());
+        assert!(Baseline::parse("{\"version\": 2, \"files\": {}}").is_err());
+        assert!(Baseline::parse("{\"surprise\": 1}").is_err());
+        assert!(Baseline::parse("{\"version\": 1, \"files\": {\"a\": [1]}}").is_err());
+    }
+
+    #[test]
+    fn regression_detection() {
+        let base = sample();
+        let mut cur = BTreeMap::new();
+        // Equal: fine.  Lower: fine.  Higher: regression.  New file with
+        // sites: regression.
+        cur.insert("crates/core/src/topk.rs".to_string(), (2, 7));
+        assert!(regressions(&cur, &base).is_empty());
+        cur.insert("crates/core/src/topk.rs".to_string(), (1, 0));
+        assert!(regressions(&cur, &base).is_empty());
+        cur.insert("crates/core/src/topk.rs".to_string(), (3, 7));
+        assert_eq!(regressions(&cur, &base).len(), 1);
+        cur.insert("crates/core/src/topk.rs".to_string(), (2, 7));
+        cur.insert("crates/core/src/fresh.rs".to_string(), (0, 1));
+        assert_eq!(regressions(&cur, &base).len(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+#![forbid(unsafe_code)]
+//! # xtk-lint — in-tree static analysis for the xtk workspace
+//!
+//! PR 1 made parallel execution bit-identical to serial execution, which
+//! turns ordering and panic discipline into *correctness invariants* of
+//! the engine.  This crate enforces them statically, with no external
+//! dependencies — it carries its own small Rust lexer in the spirit of
+//! the in-tree XML parser and the `testutil` PRNG:
+//!
+//! * [`lexer`] — a token-level Rust lexer (comments, strings, raw
+//!   strings, lifetimes, numbers) that also harvests `lint:allow(...)`
+//!   suppressions.
+//! * [`rules`] — the L1–L4 rules: ratcheted panic freedom, hash-order
+//!   leaks, determinism hazards, `#![forbid(unsafe_code)]` presence.
+//! * [`baseline`] — the `lint-baseline.json` ratchet format and
+//!   regression comparison.
+//! * [`walk`] — workspace discovery.
+//!
+//! Run as `cargo run -p xtk-lint` (done unconditionally by `ci.sh`);
+//! tighten the ratchet with `cargo run -p xtk-lint -- --update-baseline`.
+//! See DESIGN.md §7 for the full rule catalogue.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;

@@ -1,0 +1,164 @@
+#![forbid(unsafe_code)]
+//! The `xtk-lint` binary: scans the workspace, applies L1–L4, and
+//! enforces the `lint-baseline.json` ratchet.  Exit codes: 0 clean,
+//! 1 violations or ratchet regression, 2 usage/IO error.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtk_lint::baseline::{regressions, Baseline};
+use xtk_lint::rules::{analyze, classify, FileReport};
+use xtk_lint::walk;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("xtk-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "xtk-lint — in-tree static analysis for the xtk workspace\n\n\
+         USAGE: cargo run -q -p xtk-lint [-- OPTIONS]\n\n\
+         OPTIONS:\n\
+           --update-baseline   rewrite lint-baseline.json with the current L1 counts\n\
+           --root PATH         workspace root (default: found from the current directory)\n\
+           -h, --help          this message\n\n\
+         Rules: L1 panic-freedom ratchet (unwrap/expect/panic!/indexing, vs. baseline),\n\
+         L2 hash-iteration order, L3 determinism (std::time, float ==),\n\
+         L4 #![forbid(unsafe_code)].  See DESIGN.md \u{a7}7."
+    );
+}
+
+fn run() -> Result<bool, String> {
+    let mut update = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--update-baseline" => update = true,
+            "--root" => {
+                root_arg = Some(PathBuf::from(
+                    argv.next().ok_or("--root requires a path argument")?,
+                ))
+            }
+            "-h" | "--help" => {
+                print_help();
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            walk::find_root(&cwd)
+                .ok_or("no workspace root found (Cargo.toml with [workspace]); use --root")?
+        }
+    };
+
+    let files = walk::collect_rs(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let mut reports: Vec<(String, FileReport)> = Vec::new();
+    let mut counts: BTreeMap<String, (u32, u32)> = BTreeMap::new();
+    let mut hard = 0usize;
+    for (rel, path) in &files {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("reading {rel}: {e}"))?;
+        let class = classify(rel);
+        let rep = analyze(&src, &class);
+        for f in &rep.hard {
+            eprintln!("{rel}:{}: [{}] {}", f.line, f.rule, f.what);
+            hard += 1;
+        }
+        let (p, x) = rep.l1_counts();
+        if p + x > 0 {
+            counts.insert(rel.clone(), (p, x));
+        }
+        reports.push((rel.clone(), rep));
+    }
+    let totals = counts
+        .values()
+        .fold((0u32, 0u32), |(p, x), &(fp, fx)| (p + fp, x + fx));
+
+    let mut ok = true;
+    if hard > 0 {
+        eprintln!("xtk-lint: {hard} hard violation(s) (L2 hash-iter / L3 determinism / L4 forbid-unsafe)");
+        ok = false;
+    }
+
+    let bpath = root.join("lint-baseline.json");
+    if update {
+        let b = Baseline { version: 1, files: counts };
+        std::fs::write(&bpath, b.to_json())
+            .map_err(|e| format!("writing {}: {e}", bpath.display()))?;
+        println!(
+            "xtk-lint: baseline updated — {} panic sites, {} indexing sites across {} files",
+            totals.0,
+            totals.1,
+            b.files.len()
+        );
+        return Ok(ok);
+    }
+
+    let btext = std::fs::read_to_string(&bpath).map_err(|e| {
+        format!(
+            "reading {}: {e} (create it with `cargo run -p xtk-lint -- --update-baseline`)",
+            bpath.display()
+        )
+    })?;
+    let base = Baseline::parse(&btext)?;
+    let regress = regressions(&counts, &base);
+    if !regress.is_empty() {
+        ok = false;
+        for msg in &regress {
+            eprintln!("{msg}");
+        }
+        // Point at the concrete sites in the offending files.
+        for (rel, rep) in &reports {
+            let (bp, bx) = base.files.get(rel).copied().unwrap_or((0, 0));
+            let (p, x) = rep.l1_counts();
+            if p > bp {
+                for f in &rep.panic_sites {
+                    eprintln!("  {rel}:{}: {}", f.line, f.what);
+                }
+            }
+            if x > bx {
+                for f in &rep.index_sites {
+                    eprintln!("  {rel}:{}: {}", f.line, f.what);
+                }
+            }
+        }
+        eprintln!(
+            "xtk-lint: L1 ratchet regression — convert the new sites to Result \
+             (see DESIGN.md \u{a7}7); if a site is genuinely safe, annotate it with \
+             `// lint:allow(panic)` / `// lint:allow(index)`"
+        );
+    }
+
+    let (bt_p, bt_x) = base.totals();
+    if ok && (totals.0 < bt_p || totals.1 < bt_x) {
+        println!(
+            "xtk-lint: note — tree is below baseline ({} vs {} panic sites, {} vs {} indexing \
+             sites); tighten the ratchet with `cargo run -p xtk-lint -- --update-baseline`",
+            totals.0, bt_p, totals.1, bt_x
+        );
+    }
+    if ok {
+        println!(
+            "xtk-lint: OK — {} files scanned; L1 panic sites {} (budget {}), \
+             indexing sites {} (budget {})",
+            files.len(),
+            totals.0,
+            bt_p,
+            totals.1,
+            bt_x
+        );
+    }
+    Ok(ok)
+}

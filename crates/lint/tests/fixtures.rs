@@ -1,0 +1,97 @@
+//! Positive/negative fixture tests: the lint must fire on the bad
+//! fixtures and stay silent on the good ones.  Fixture sources live in
+//! `fixtures/` (outside `src/`, so the workspace scan ignores them and
+//! cargo never compiles them).
+
+use std::path::Path;
+use xtk_lint::rules::{analyze, classify, FileClass, FileReport};
+
+const LIB: FileClass = FileClass { lib_code: true, exec_scope: false, crate_root: false };
+const EXEC: FileClass = FileClass { lib_code: true, exec_scope: true, crate_root: false };
+const ROOT: FileClass = FileClass { lib_code: true, exec_scope: false, crate_root: true };
+
+fn fixture(name: &str, class: &FileClass) -> FileReport {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    analyze(&src, class)
+}
+
+fn hard_rules(rep: &FileReport) -> Vec<&'static str> {
+    rep.hard.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn injected_unwraps_are_counted() {
+    let rep = fixture("bad_panics.rs", &LIB);
+    assert_eq!(
+        rep.l1_counts(),
+        (4, 1),
+        "panic sites: {:?}, index sites: {:?}",
+        rep.panic_sites,
+        rep.index_sites
+    );
+}
+
+#[test]
+fn clean_library_code_is_silent() {
+    let rep = fixture("ok_clean.rs", &LIB);
+    assert_eq!(rep.l1_counts(), (0, 0), "{:?} {:?}", rep.panic_sites, rep.index_sites);
+    assert!(rep.hard.is_empty());
+}
+
+#[test]
+fn hash_order_leakage_fails() {
+    let rep = fixture("bad_hash_iter.rs", &EXEC);
+    assert_eq!(hard_rules(&rep), vec!["hash-iter"], "{:?}", rep.hard);
+}
+
+#[test]
+fn sorted_or_aggregated_hash_iteration_passes() {
+    let rep = fixture("ok_hash_sorted.rs", &EXEC);
+    assert!(rep.hard.is_empty(), "{:?}", rep.hard);
+}
+
+#[test]
+fn wall_clock_time_fails_in_exec_scope() {
+    let rep = fixture("bad_time.rs", &EXEC);
+    assert!(hard_rules(&rep).contains(&"time"), "{:?}", rep.hard);
+    // The same file is fine outside the query-execution crates (the bench
+    // crate measures time for a living).
+    assert!(fixture("bad_time.rs", &LIB).hard.is_empty());
+}
+
+#[test]
+fn float_equality_fails_in_exec_scope() {
+    let rep = fixture("bad_float_eq.rs", &EXEC);
+    assert!(hard_rules(&rep).contains(&"float-eq"), "{:?}", rep.hard);
+}
+
+#[test]
+fn removed_forbid_unsafe_fails() {
+    let rep = fixture("root_missing_forbid.rs", &ROOT);
+    assert!(hard_rules(&rep).contains(&"forbid-unsafe"), "{:?}", rep.hard);
+    assert!(fixture("root_ok.rs", &ROOT).hard.is_empty());
+}
+
+/// End-to-end over the real tree: every crate root in this workspace must
+/// carry `#![forbid(unsafe_code)]`, and the shipped tree must have no
+/// hard violations — the same invariant `ci.sh` enforces via the binary.
+#[test]
+fn shipped_tree_has_no_hard_violations() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = xtk_lint::walk::find_root(here).expect("workspace root");
+    let files = xtk_lint::walk::collect_rs(&root).expect("scan workspace");
+    assert!(files.len() > 20, "expected a real workspace, found {} files", files.len());
+    let mut crate_roots = 0;
+    for (rel, path) in &files {
+        let class = classify(rel);
+        if class.crate_root {
+            crate_roots += 1;
+        }
+        let src = std::fs::read_to_string(path).expect("read source");
+        let rep = analyze(&src, &class);
+        assert!(rep.hard.is_empty(), "{rel}: {:?}", rep.hard);
+    }
+    assert!(crate_roots >= 6, "expected >= 6 crate roots, found {crate_roots}");
+}

@@ -162,7 +162,8 @@ impl JDeweyAssignment {
         let lv = self.levels.get(level as usize)?;
         lv.binary_search_by_key(&n, |&id| self.numbers[id.index()])
             .ok()
-            .map(|pos| lv[pos])
+            .and_then(|pos| lv.get(pos))
+            .copied()
     }
 
     /// Nodes of `level` in increasing JDewey-number order.
@@ -197,15 +198,20 @@ impl JDeweyAssignment {
                 if tree.depth(id) as usize != l {
                     return Err(format!("{id} listed at level {l} but has depth {}", tree.depth(id)));
                 }
-                let n = self.numbers[id.index()];
+                let n = self.number(id);
                 if let Some((pn, pid)) = prev {
                     if n <= pn {
                         return Err(format!("level {l}: {id} number {n} <= predecessor {pid} number {pn}"));
                     }
                     // Requirement 2: parent order must agree with child order.
                     if l > 1 {
-                        let pp = self.numbers[tree.parent(pid).unwrap().index()];
-                        let cp = self.numbers[tree.parent(id).unwrap().index()];
+                        let (Some(prev_parent), Some(this_parent)) =
+                            (tree.parent(pid), tree.parent(id))
+                        else {
+                            return Err(format!("level {l}: non-root node without a parent"));
+                        };
+                        let pp = self.number(prev_parent);
+                        let cp = self.number(this_parent);
                         if cp < pp {
                             return Err(format!(
                                 "level {l}: children out of parent order ({pid}->{pp}, {id}->{cp})"
@@ -232,11 +238,61 @@ impl JDeweyAssignment {
             self.numbers.resize(id.index() + 1, 0);
         }
         self.numbers[id.index()] = n;
-        let lv = &mut self.levels[level];
-        let pos = lv
-            .binary_search_by_key(&n, |&x| self.numbers[x.index()])
-            .unwrap_err();
-        lv.insert(pos, id);
+        let Some(lv) = self.levels.get(level) else { return };
+        let pos = match lv.binary_search_by_key(&n, |&x| self.numbers[x.index()]) {
+            Ok(pos) | Err(pos) => pos,
+        };
+        self.debug_assert_property_3_1(tree, level, pos, id, n);
+        if let Some(lv) = self.levels.get_mut(level) {
+            lv.insert(pos, id);
+        }
+    }
+
+    /// Debug-build invariant check at an insertion point: JDewey numbers
+    /// at a level are strictly increasing, and parent numbers are monotone
+    /// across the level (Property 3.1 / §III-A requirement 2).  Compiled
+    /// away in release builds; violating inputs trip it under
+    /// `cfg(debug_assertions)`.
+    #[allow(unused_variables)]
+    fn debug_assert_property_3_1(
+        &self,
+        tree: &XmlTree,
+        level: usize,
+        pos: usize,
+        id: NodeId,
+        n: u32,
+    ) {
+        #[cfg(debug_assertions)]
+        {
+            let Some(lv) = self.levels.get(level) else { return };
+            let parent_number =
+                |x: NodeId| tree.parent(x).map(|p| self.numbers.get(p.index()).copied());
+            let this_parent = parent_number(id);
+            if let Some(&prev) = pos.checked_sub(1).and_then(|p| lv.get(p)) {
+                let prev_n = self.numbers.get(prev.index()).copied().unwrap_or(0);
+                debug_assert!(
+                    prev_n < n,
+                    "JDewey uniqueness violated at level {level}: inserting {n} after {prev_n}"
+                );
+                debug_assert!(
+                    parent_number(prev) <= this_parent,
+                    "JDewey Property 3.1 violated at level {level}: {id} (number {n}) sorts \
+                     after a node whose parent has a larger number"
+                );
+            }
+            if let Some(&next) = lv.get(pos) {
+                let next_n = self.numbers.get(next.index()).copied().unwrap_or(0);
+                debug_assert!(
+                    n < next_n,
+                    "JDewey uniqueness violated at level {level}: inserting {n} before {next_n}"
+                );
+                debug_assert!(
+                    this_parent <= parent_number(next),
+                    "JDewey Property 3.1 violated at level {level}: {id} (number {n}) sorts \
+                     before a node whose parent has a smaller number"
+                );
+            }
+        }
     }
 
     /// Removes a node from its level list.  Internal to the maintainer.
@@ -352,6 +408,40 @@ mod tests {
     #[test]
     fn display_is_dotted() {
         assert_eq!(JSeq(vec![1, 3, 4]).to_string(), "1.3.4");
+    }
+
+    /// Satellite check: inserting a child whose number contradicts parent
+    /// order (Property 3.1 requirement 2) must trip the debug assertion.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "Property 3.1")]
+    fn register_trips_on_parent_order_violation() {
+        let mut t = XmlTree::new();
+        let root = t.add_root("r");
+        let a = t.add_child(root, "a"); // level-2 number 1
+        let b = t.add_child(root, "b"); // level-2 number 2
+        let mut jd = JDeweyAssignment::assign(&t, 0);
+        let ca = t.add_child(a, "ca");
+        let cb = t.add_child(b, "cb");
+        // cb (child of the *later* parent) gets the smaller number: any
+        // list sorted by number now disagrees with parent order.
+        jd.register(&t, cb, 1);
+        jd.register(&t, ca, 2);
+    }
+
+    /// Duplicate numbers at one level violate requirement 1 (uniqueness).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "uniqueness")]
+    fn register_trips_on_duplicate_number() {
+        let mut t = XmlTree::new();
+        let root = t.add_root("r");
+        let a = t.add_child(root, "a");
+        let b = t.add_child(root, "b");
+        let mut jd = JDeweyAssignment::assign(&t, 0);
+        let _ = (a, b);
+        let c = t.add_child(root, "c");
+        jd.register(&t, c, 2); // 2 is already taken by `b`
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! XML substrate for `xtk` — the reproduction of *"Supporting Top-K Keyword
 //! Search in XML Databases"* (Chen & Papakonstantinou, ICDE 2010).
 //!

@@ -139,7 +139,9 @@ impl JDeweyMaintainer {
         let subtree: Vec<NodeId> = self.tree.descendants_or_self(id).collect();
         for n in subtree {
             self.jd.unregister(&self.tree, n);
-            self.removed[n.index()] = true;
+            if let Some(slot) = self.removed.get_mut(n.index()) {
+                *slot = true;
+            }
         }
         Ok(())
     }
@@ -155,18 +157,30 @@ impl JDeweyMaintainer {
         let root = self.tree.root();
         let new_root = out.add_root(self.tree.label(root));
         out.append_text(new_root, self.tree.text(root));
-        map[root.index()] = Some(new_root);
+        if let Some(slot) = map.get_mut(root.index()) {
+            *slot = Some(new_root);
+        }
         // Pre-order walk over live nodes.
         let mut stack: Vec<NodeId> = self.tree.children(root).iter().rev().copied().collect();
         while let Some(id) = stack.pop() {
             if self.is_removed(id) {
                 continue;
             }
-            let parent = self.tree.parent(id).expect("non-root");
-            let new_parent = map[parent.index()].expect("parent visited first");
+            // Only children of visited live nodes are ever on the stack,
+            // so both lookups hit; a miss means a corrupted arena and the
+            // node is skipped rather than panicking.
+            let Some(new_parent) = self
+                .tree
+                .parent(id)
+                .and_then(|p| map.get(p.index()).copied().flatten())
+            else {
+                continue;
+            };
             let new_id = out.add_child(new_parent, self.tree.label(id));
             out.append_text(new_id, self.tree.text(id));
-            map[id.index()] = Some(new_id);
+            if let Some(slot) = map.get_mut(id.index()) {
+                *slot = Some(new_id);
+            }
             for &c in self.tree.children(id).iter().rev() {
                 stack.push(c);
             }
@@ -185,11 +199,15 @@ impl JDeweyMaintainer {
         // Nodes whose parent number <= pn form a prefix of the level list
         // (requirement 2).  `split` = count of such nodes.
         let split = partition_point(level, |&id| {
-            let p = self.tree.parent(id).expect("level >= 2 nodes have parents");
-            self.jd.number(p) <= pn
+            // Level >= 2 nodes always have parents; treat a malformed
+            // parentless node as sorting after the split.
+            self.tree.parent(id).is_some_and(|p| self.jd.number(p) <= pn)
         });
-        let lo = if split == 0 { 0 } else { self.jd.number(level[split - 1]) };
-        let hi = if split == level.len() { u32::MAX } else { self.jd.number(level[split]) };
+        let lo = split
+            .checked_sub(1)
+            .and_then(|i| level.get(i))
+            .map_or(0, |&id| self.jd.number(id));
+        let hi = level.get(split).map_or(u32::MAX, |&id| self.jd.number(id));
         if lo + 1 < hi {
             Ok(lo + 1)
         } else {
@@ -203,12 +221,9 @@ impl JDeweyMaintainer {
         let mut cur = from;
         loop {
             let level = self.tree.depth(cur);
-            let last = *self
-                .jd
-                .level(level)
-                .last()
-                .expect("cur is live, so its level is non-empty");
-            if last == cur {
+            // `cur` is live, so its level is non-empty; an empty level can
+            // only mean corruption, and walking up is the safe answer.
+            if self.jd.level(level).last() == Some(&cur) {
                 return cur;
             }
             match self.tree.parent(cur) {

@@ -50,7 +50,8 @@ impl<'a> Parser<'a> {
     fn err_at(&self, kind: ParseErrorKind, offset: usize) -> ParseError {
         let mut line = 1u32;
         let mut last_nl = 0usize;
-        for (i, &b) in self.input[..offset.min(self.input.len())].iter().enumerate() {
+        let prefix = self.input.get(..offset.min(self.input.len())).unwrap_or(self.input);
+        for (i, &b) in prefix.iter().enumerate() {
             if b == b'\n' {
                 line += 1;
                 last_nl = i + 1;
@@ -77,7 +78,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8, what: &'static str) -> Result<()> {
+    fn expect_byte(&mut self, b: u8, what: &'static str) -> Result<()> {
         match self.bump() {
             Some(x) if x == b => Ok(()),
             Some(x) => Err(self.err_at(
@@ -89,11 +90,17 @@ impl<'a> Parser<'a> {
     }
 
     fn starts_with(&self, s: &str) -> bool {
-        self.input[self.pos..].starts_with(s.as_bytes())
+        self.input.get(self.pos..).is_some_and(|rest| rest.starts_with(s.as_bytes()))
+    }
+
+    /// The source text between two positions the parser has visited; both
+    /// are UTF-8 boundaries by construction, so a miss decodes to `""`.
+    fn span(&self, start: usize, end: usize) -> &'a str {
+        self.text.get(start..end).unwrap_or("")
     }
 
     fn skip_until(&mut self, end: &str, what: &'static str) -> Result<()> {
-        match self.text[self.pos..].find(end) {
+        match self.text.get(self.pos..).and_then(|rest| rest.find(end)) {
             Some(i) => {
                 self.pos += i + end.len();
                 Ok(())
@@ -119,7 +126,7 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
             self.pos += 1;
         }
-        Ok(&self.text[start..self.pos])
+        Ok(self.span(start, self.pos))
     }
 
     /// Decodes an entity reference starting *after* the `&`.
@@ -127,7 +134,7 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         while let Some(b) = self.peek() {
             if b == b';' {
-                let name = &self.text[start..self.pos];
+                let name = self.span(start, self.pos);
                 self.pos += 1;
                 let decoded = match name {
                     "lt" => '<',
@@ -136,7 +143,7 @@ impl<'a> Parser<'a> {
                     "apos" => '\'',
                     "quot" => '"',
                     _ if name.starts_with('#') => {
-                        let num = &name[1..];
+                        let num = name.get(1..).unwrap_or("");
                         let cp = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
                             u32::from_str_radix(hex, 16)
                         } else {
@@ -161,7 +168,7 @@ impl<'a> Parser<'a> {
             }
             self.pos += 1;
         }
-        Err(self.err_at(ParseErrorKind::UnknownEntity(self.text[start..self.pos].to_string()), start))
+        Err(self.err_at(ParseErrorKind::UnknownEntity(self.span(start, self.pos).to_string()), start))
     }
 
     /// Reads character data up to the next `<`, decoding entities.
@@ -172,7 +179,7 @@ impl<'a> Parser<'a> {
             match b {
                 b'<' => break,
                 b'&' => {
-                    out.push_str(&self.text[run_start..self.pos]);
+                    out.push_str(self.span(run_start, self.pos));
                     self.pos += 1;
                     self.read_entity(&mut out)?;
                     run_start = self.pos;
@@ -180,7 +187,7 @@ impl<'a> Parser<'a> {
                 _ => self.pos += 1,
             }
         }
-        out.push_str(&self.text[run_start..self.pos]);
+        out.push_str(self.span(run_start, self.pos));
         Ok(out)
     }
 
@@ -200,12 +207,12 @@ impl<'a> Parser<'a> {
         loop {
             match self.peek() {
                 Some(q) if q == quote => {
-                    out.push_str(&self.text[run_start..self.pos]);
+                    out.push_str(self.span(run_start, self.pos));
                     self.pos += 1;
                     return Ok(out);
                 }
                 Some(b'&') => {
-                    out.push_str(&self.text[run_start..self.pos]);
+                    out.push_str(self.span(run_start, self.pos));
                     self.pos += 1;
                     self.read_entity(&mut out)?;
                     run_start = self.pos;
@@ -240,7 +247,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'/') => {
                     self.pos += 1;
-                    self.expect(b'>', "'>' after '/'")?;
+                    self.expect_byte(b'>', "'>' after '/'")?;
                     return Ok(()); // self-closing: nothing pushed
                 }
                 Some(b) if Self::is_name_start(b) => {
@@ -253,7 +260,7 @@ impl<'a> Parser<'a> {
                     }
                     seen.push(aname);
                     self.skip_ws();
-                    self.expect(b'=', "'=' after attribute name")?;
+                    self.expect_byte(b'=', "'=' after attribute name")?;
                     self.skip_ws();
                     let value = self.read_attr_value()?;
                     let mut label = String::with_capacity(aname.len() + 1);
@@ -277,7 +284,7 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         let name = self.read_name()?;
         self.skip_ws();
-        self.expect(b'>', "'>' in close tag")?;
+        self.expect_byte(b'>', "'>' in close tag")?;
         match self.stack.pop() {
             Some(open) if self.tree.label(open) == name => Ok(()),
             Some(open) => Err(self.err_at(
@@ -300,8 +307,9 @@ impl<'a> Parser<'a> {
                 let text = self.read_text()?;
                 let trimmed = text.trim();
                 if !trimmed.is_empty() {
-                    let cur = *self.stack.last().expect("non-empty stack");
-                    self.tree.append_text(cur, trimmed);
+                    if let Some(&cur) = self.stack.last() {
+                        self.tree.append_text(cur, trimmed);
+                    }
                 }
             }
             match self.peek() {
@@ -321,7 +329,7 @@ impl<'a> Parser<'a> {
                                 self.pos += 8;
                                 let start = self.pos;
                                 self.skip_until("]]>", "CDATA section")?;
-                                let data = &self.text[start..self.pos - 3];
+                                let data = self.span(start, self.pos - 3);
                                 if let Some(&cur) = self.stack.last() {
                                     let t = data.trim();
                                     if !t.is_empty() {
@@ -349,10 +357,10 @@ impl<'a> Parser<'a> {
                         None => return Err(self.err(ParseErrorKind::UnexpectedEof("markup"))),
                     }
                 }
-                Some(_) if self.stack.is_empty() => {
-                    return Err(self.err(ParseErrorKind::ContentOutsideRoot))
-                }
-                Some(_) => unreachable!("read_text stops only at '<' or EOF"),
+                // `read_text` stops only at '<' or EOF, so any other byte
+                // here means no element is open and non-whitespace content
+                // sits outside the root.
+                Some(_) => return Err(self.err(ParseErrorKind::ContentOutsideRoot)),
             }
         }
         if !self.stack.is_empty() {

@@ -210,15 +210,29 @@ impl XmlTree {
     pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
         let mut a = a;
         let mut b = b;
+        // Walking off the root (no parent) can only happen on malformed
+        // depth data; converge on whatever node we reached instead of
+        // panicking.
         while self.depth(a) > self.depth(b) {
-            a = self.parent(a).expect("depth>1 implies parent");
+            match self.parent(a) {
+                Some(p) => a = p,
+                None => return a,
+            }
         }
         while self.depth(b) > self.depth(a) {
-            b = self.parent(b).expect("depth>1 implies parent");
+            match self.parent(b) {
+                Some(p) => b = p,
+                None => return b,
+            }
         }
         while a != b {
-            a = self.parent(a).expect("distinct nodes at depth 1 impossible");
-            b = self.parent(b).expect("distinct nodes at depth 1 impossible");
+            match (self.parent(a), self.parent(b)) {
+                (Some(pa), Some(pb)) => {
+                    a = pa;
+                    b = pb;
+                }
+                _ => return a,
+            }
         }
         a
     }

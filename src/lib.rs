@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # xtk — Top-K Keyword Search in XML Databases
 //!
 //! A from-scratch Rust implementation of *"Supporting Top-K Keyword Search
