@@ -19,6 +19,14 @@ cargo run -q --offline -p xtk-lint
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== bench smoke: query-path I/O trajectory vs committed baseline"
+# Deterministic cold-decode counts (seeded corpus, serial execution):
+# fails on a >20 % regression against BENCH_query.json, and the run
+# itself asserts result-set equality across cache capacities and the
+# >=30 % v1->v2 decode reduction.  Refresh the baseline after an
+# intentional change with:  query_io --check BENCH_query.json --update
+cargo run -q --offline --release -p xtk-bench --bin query_io -- --check BENCH_query.json
+
 if [ "${XTK_SKIP_CLIPPY:-0}" = "1" ]; then
     echo "== clippy skipped (XTK_SKIP_CLIPPY=1)"
 elif cargo clippy --version >/dev/null 2>&1; then

@@ -407,7 +407,7 @@ fn depth(o: &Opts) {
     let depth_max = xtk_xml::stats::TreeStats::compute(&corpus.tree).max_depth;
     let ix = XmlIndex::build(corpus.tree);
     let path = std::env::temp_dir().join(format!("xtk_depth_{}.bin", std::process::id()));
-    write_index(&ix, &path, WriteIndexOptions { include_scores: true }).unwrap();
+    write_index(&ix, &path, WriteIndexOptions { include_scores: true, ..Default::default() }).unwrap();
     let store = DiskColumnStore::open(&path).unwrap();
 
     println!("== Depth extension: Treebank-like corpus (max depth {depth_max}) ==");

@@ -1,0 +1,393 @@
+//! Query-path I/O benchmark: block decodes, cache behaviour, and wall
+//! time for the Fig. 9/10 workloads against the on-disk columnar index.
+//!
+//! ```text
+//! query_io [--out FILE] [--check FILE] [--update]
+//!
+//!   --out FILE    write the trajectory JSON (default BENCH_query.json)
+//!   --check FILE  compare cold decode counts against a committed
+//!                 baseline; exit non-zero on a >20 % regression.
+//!                 Does not write unless --update is also given.
+//!   --update      with --check: rewrite the baseline after checking
+//! ```
+//!
+//! The run itself is also a correctness smoke test: the result
+//! fingerprint must be identical across every cache capacity
+//! (1 block / default / unbounded) and must match the in-memory engine,
+//! and the v2 footer directory must cut cold decodes by ≥ 30 % against a
+//! v1 file on the index-join-heavy workloads.  Decode counts are exact
+//! and deterministic (seeded corpus, serial execution), which is what
+//! makes the baseline check meaningful; wall times are recorded for the
+//! trajectory but never compared.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use xtk_bench::{
+    band_term, correlated_groups, equal_queries, high_term, point_queries, Scale, LOW_FREQS,
+    TERMS_PER_BAND,
+};
+use xtk_core::diskexec::join_search_disk;
+use xtk_core::joinbased::{join_search, JoinOptions};
+use xtk_core::query::Query;
+use xtk_datagen::dblp::{generate as gen_dblp, DblpConfig};
+use xtk_datagen::PlantedTerm;
+use xtk_index::cache::{BlockCache, ShardedLruCache, DEFAULT_CAPACITY_BLOCKS};
+use xtk_index::disk::{write_index, FormatVersion, WriteIndexOptions};
+use xtk_index::diskcol::DiskColumnStore;
+use xtk_index::XmlIndex;
+
+/// The benchmark corpus: sized between the library's Small and Paper
+/// scales so the high-frequency inverted lists span *many* 4 KiB blocks
+/// (the regime where the block directory matters) while the build stays
+/// CI-friendly.  Terms follow the Fig. 9/10 naming so the workload
+/// helpers resolve.
+fn build_corpus() -> XmlIndex {
+    let mut planted = Vec::new();
+    for i in 0..4 {
+        planted.push(PlantedTerm::new(high_term(i), 50_000));
+    }
+    // The standard Fig. 9 bands plus a needle band (f = 4): the most
+    // selective index-join regime, where a probe set touches a handful
+    // of blocks of a list spanning dozens.
+    for &f in &[4, 10, 100, 1_000, 10_000] {
+        for i in 0..TERMS_PER_BAND {
+            planted.push(PlantedTerm::new(band_term(f, i), f));
+        }
+    }
+    debug_assert_eq!(LOW_FREQS, [10, 100, 1_000, 10_000]);
+    for (terms, freqs, rho) in correlated_groups() {
+        for (j, (&t, &f)) in terms.iter().zip(&freqs).enumerate() {
+            if j == 0 {
+                planted.push(PlantedTerm::new(t, f / 2));
+            } else {
+                planted.push(PlantedTerm::correlated(t, f / 2, terms[0], rho));
+            }
+        }
+    }
+    let cfg = DblpConfig {
+        conferences: 200,
+        years_per_conf: 10,
+        papers_per_year: 30,
+        title_words: 6,
+        authors_per_paper: 1,
+        vocab_size: 10_000,
+        planted,
+        ..Default::default()
+    };
+    XmlIndex::build(gen_dblp(&cfg).tree)
+}
+
+/// FNV-1a over the full result stream: order, nodes, levels, score bits.
+#[derive(Clone, Copy)]
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint(0xcbf29ce484222325)
+    }
+
+    fn push(&mut self, word: u32) {
+        for b in word.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    queries: Vec<Vec<String>>,
+    /// Index-join heavy: probes a long list through a tiny intermediate —
+    /// the workloads the footer ablation measures.
+    index_heavy: bool,
+}
+
+fn workloads(scale: Scale) -> Vec<Workload> {
+    let correlated: Vec<Vec<String>> = correlated_groups()
+        .into_iter()
+        .map(|(terms, _, _)| terms.into_iter().map(str::to_string).collect())
+        .collect();
+    vec![
+        Workload {
+            name: "point_k2_f4",
+            queries: point_queries(scale, 2, 4, 8),
+            index_heavy: true,
+        },
+        Workload {
+            name: "point_k2_f10",
+            queries: point_queries(scale, 2, 10, 8),
+            index_heavy: true,
+        },
+        Workload {
+            name: "point_k3_f100",
+            queries: point_queries(scale, 3, 100, 8),
+            index_heavy: false,
+        },
+        Workload {
+            name: "equal_k3_f1000",
+            queries: equal_queries(3, 1_000, 8),
+            index_heavy: false,
+        },
+        Workload { name: "correlated", queries: correlated, index_heavy: false },
+    ]
+}
+
+struct ConfigRun {
+    cold_decodes: u64,
+    hot_decodes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    cold_wall_ns: u128,
+    hot_wall_ns: u128,
+}
+
+/// Runs every query of a workload twice (cold, then hot) on one store.
+fn run_config(
+    ix: &XmlIndex,
+    store: &DiskColumnStore,
+    queries: &[Query],
+    opts: &JoinOptions,
+) -> (ConfigRun, Fingerprint, u64) {
+    let mut fp = Fingerprint::new();
+    let mut results = 0u64;
+    let cold_start = store.reads();
+    let t = Instant::now();
+    for q in queries {
+        let (rs, _, _) = join_search_disk(ix, store, q, opts).expect("disk search");
+        for r in &rs {
+            fp.push(r.node.0);
+            fp.push(r.level as u32);
+            fp.push(r.score.to_bits());
+        }
+        results += rs.len() as u64;
+    }
+    let cold_wall_ns = t.elapsed().as_nanos();
+    let cold_decodes = store.reads() - cold_start;
+    let t = Instant::now();
+    for q in queries {
+        let (_, _, _) = join_search_disk(ix, store, q, opts).expect("disk search");
+    }
+    let hot_wall_ns = t.elapsed().as_nanos();
+    let hot_decodes = store.reads() - cold_start - cold_decodes;
+    let stats = store.cache_stats();
+    (
+        ConfigRun {
+            cold_decodes,
+            hot_decodes,
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            cold_wall_ns,
+            hot_wall_ns,
+        },
+        fp,
+        results,
+    )
+}
+
+/// `"key": number` extraction from the flat baseline JSON — enough for a
+/// std-only check (keys are unique in the file by construction).
+fn extract_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json.get(at..)?.trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest.get(..end)?.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_query.json");
+    let mut check: Option<String> = None;
+    let mut update = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().expect("--out FILE").clone(),
+            "--check" => check = Some(it.next().expect("--check FILE").clone()),
+            "--update" => update = true,
+            other => panic!("unknown flag {other} (see --help in the module docs)"),
+        }
+    }
+
+    eprintln!("query_io: building the DBLP benchmark corpus…");
+    let ix = build_corpus();
+    let dir = std::env::temp_dir();
+    let p_v2 = dir.join(format!("xtk_query_io_v2_{}.bin", std::process::id()));
+    let p_v1 = dir.join(format!("xtk_query_io_v1_{}.bin", std::process::id()));
+    write_index(
+        &ix,
+        &p_v2,
+        WriteIndexOptions { include_scores: true, format: FormatVersion::V2 },
+    )
+    .expect("write v2 index");
+    write_index(
+        &ix,
+        &p_v1,
+        WriteIndexOptions { include_scores: true, format: FormatVersion::V1 },
+    )
+    .expect("write v1 index");
+
+    let opts = JoinOptions { with_scores: true, ..Default::default() };
+    type CacheCtor = fn() -> Arc<dyn BlockCache>;
+    let configs: [(&str, CacheCtor); 3] = [
+        ("cap1", || Arc::new(ShardedLruCache::with_block_capacity(1))),
+        ("default", || {
+            Arc::new(ShardedLruCache::with_block_capacity(DEFAULT_CAPACITY_BLOCKS))
+        }),
+        ("unbounded", || Arc::new(ShardedLruCache::unbounded())),
+    ];
+
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"corpus\": \"dblp-bench\",\n");
+    let mut check_lines: Vec<(String, u64)> = Vec::new();
+    let mut v1_total = 0u64;
+    let mut v2_total = 0u64;
+    json.push_str("  \"workloads\": [\n");
+
+    let all = workloads(Scale::Small);
+    for (wi, w) in all.iter().enumerate() {
+        let queries: Vec<Query> = w
+            .queries
+            .iter()
+            .map(|words| Query::from_words(&ix, words).expect("workload term resolves"))
+            .collect();
+
+        // In-memory reference fingerprint.
+        let mut mem_fp = Fingerprint::new();
+        for q in &queries {
+            let (rs, _) = join_search(&ix, q, &opts);
+            for r in &rs {
+                mem_fp.push(r.node.0);
+                mem_fp.push(r.level as u32);
+                mem_fp.push(r.score.to_bits());
+            }
+        }
+
+        let _ = write!(json, "    {{\"name\": \"{}\", \"queries\": {}", w.name, queries.len());
+        let mut fingerprint: Option<u64> = None;
+        let mut unbounded_cold = 0u64;
+        for (cname, mk_cache) in &configs {
+            let store =
+                DiskColumnStore::open_with_cache(&p_v2, mk_cache()).expect("open v2 store");
+            let (run, fp, results) = run_config(&ix, &store, &queries, &opts);
+            assert_eq!(
+                fp.0, mem_fp.0,
+                "{}/{cname}: disk results diverge from the in-memory engine",
+                w.name
+            );
+            match fingerprint {
+                None => {
+                    fingerprint = Some(fp.0);
+                    let _ = write!(json, ", \"results\": {results}");
+                    let _ = write!(json, ", \"fingerprint\": \"{:016x}\"", fp.0);
+                    json.push_str(", \"configs\": {");
+                }
+                Some(prev) => assert_eq!(
+                    prev, fp.0,
+                    "{}/{cname}: results depend on cache capacity",
+                    w.name
+                ),
+            }
+            if *cname == "unbounded" {
+                unbounded_cold = run.cold_decodes;
+            }
+            let _ = write!(
+                json,
+                "{}\"{cname}\": {{\"cold_decodes\": {}, \"hot_decodes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"cold_wall_ns\": {}, \"hot_wall_ns\": {}}}",
+                if *cname == "cap1" { "" } else { ", " },
+                run.cold_decodes,
+                run.hot_decodes,
+                run.hits,
+                run.misses,
+                run.evictions,
+                run.cold_wall_ns,
+                run.hot_wall_ns,
+            );
+        }
+        json.push('}');
+
+        // v1 ablation on the index-heavy workloads: every query runs
+        // against a *fresh* (empty) cache in both formats, measuring the
+        // per-query cold probe cost the footer directory exists to cut —
+        // v1 recovers a probe's row prefix by decoding every preceding
+        // block of the column, v2 reads it from the directory.
+        if w.index_heavy {
+            let mut v1_cold = 0u64;
+            let mut v2_cold = 0u64;
+            for q in &queries {
+                for (path, sink) in [(&p_v1, &mut v1_cold), (&p_v2, &mut v2_cold)] {
+                    let store = DiskColumnStore::open(path).expect("open store");
+                    let (_, _, d) =
+                        join_search_disk(&ix, &store, q, &opts).expect("disk search");
+                    *sink += d;
+                }
+            }
+            let _ = write!(
+                json,
+                ", \"v1_cold_decodes\": {v1_cold}, \"v2_cold_decodes\": {v2_cold}"
+            );
+            v1_total += v1_cold;
+            v2_total += v2_cold;
+        }
+        check_lines.push((format!("chk_{}", w.name), unbounded_cold));
+        json.push_str(if wi + 1 == all.len() { "}\n" } else { "},\n" });
+    }
+    json.push_str("  ],\n");
+
+    assert!(v1_total > 0, "ablation must decode blocks");
+    let reduction = 100.0 * (1.0 - v2_total as f64 / v1_total as f64);
+    eprintln!(
+        "query_io: index-join cold decodes v1 {v1_total} → v2 {v2_total} ({reduction:.1}% fewer)"
+    );
+    assert!(
+        (v2_total as f64) <= 0.7 * v1_total as f64,
+        "v2 footers must cut index-join cold decodes by ≥30%: v1 {v1_total}, v2 {v2_total}"
+    );
+    let _ = writeln!(
+        json,
+        "  \"ablation\": {{\"v1_cold_decodes\": {v1_total}, \"v2_cold_decodes\": {v2_total}, \"reduction_pct\": {reduction:.1}}},"
+    );
+
+    check_lines.push(("chk_total".to_string(), check_lines.iter().map(|(_, v)| v).sum()));
+    json.push_str("  \"check\": {\n");
+    for (i, (key, value)) in check_lines.iter().enumerate() {
+        let _ = write!(json, "    \"{key}\": {value}");
+        json.push_str(if i + 1 == check_lines.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::remove_file(&p_v1).ok();
+    std::fs::remove_file(&p_v2).ok();
+
+    if let Some(baseline_path) = &check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("--check {baseline_path}: {e}"));
+        let mut failed = false;
+        for (key, value) in &check_lines {
+            let Some(base) = extract_u64(&baseline, key) else {
+                eprintln!("query_io: baseline lacks {key} — treating as new");
+                continue;
+            };
+            // >20 % more cold decodes than the committed baseline fails.
+            let limit = base + base.div_ceil(5);
+            let status = if *value > limit { "REGRESSION" } else { "ok" };
+            eprintln!("query_io: {key}: {value} vs baseline {base} (limit {limit}) {status}");
+            if *value > limit {
+                failed = true;
+            }
+        }
+        if failed {
+            eprintln!("query_io: cold decode regression against {baseline_path}");
+            std::process::exit(1);
+        }
+        if update {
+            std::fs::write(baseline_path, &json).expect("rewrite baseline");
+            eprintln!("query_io: baseline {baseline_path} updated");
+        }
+    } else {
+        std::fs::write(&out, &json).expect("write trajectory");
+        eprintln!("query_io: wrote {out}");
+    }
+}

@@ -22,12 +22,19 @@
 
 use crate::eraser::Eraser;
 use crate::joinbased::{apply_match, JoinOptions, JoinStats};
+use crate::pool::{chunk_ranges, parallel_map};
 use crate::query::Query;
 use crate::result::ScoredResult;
 use std::io;
-use xtk_index::columnar::Run;
+use xtk_index::columnar::{gallop_lower_bound, Run};
 use xtk_index::diskcol::DiskColumnStore;
 use xtk_index::{TermData, XmlIndex};
+
+/// Below this many intermediate values the per-level join loops run
+/// serially; above it they chunk across the pool (the store and its block
+/// cache are thread-safe, so workers share decodes instead of repeating
+/// them).
+const PAR_PROBE_MIN: usize = 256;
 
 /// Runs Algorithm 1 against an on-disk columnar index.
 ///
@@ -94,36 +101,94 @@ pub fn join_search_disk(
             // Index join when the intermediate is much smaller than the
             // column; a probe costs ~1 block decode (amortized).
             let use_index = matched.len() * 16 < col.row_count();
+            let parallel =
+                opts.parallelism.workers() > 1 && matched.len() >= PAR_PROBE_MIN;
             if use_index {
                 stats.index_joins += 1;
-                let mut next = Vec::with_capacity(matched.len());
-                for (v, mut per_kw) in matched {
-                    if let Some(run) = col.find(v)? {
-                        if let Some(slot) = per_kw.get_mut(i) {
-                            *slot = run;
+                if parallel {
+                    // Chunk the sorted intermediate; each range probes
+                    // independently (the store is `Sync`, decodes are
+                    // shared through the cache) and the per-range
+                    // outputs concatenate in range order, preserving
+                    // the serial ascending-value order bit for bit.
+                    let ranges =
+                        chunk_ranges(matched.len(), opts.parallelism.workers() * 4);
+                    let parts = parallel_map(opts.parallelism, &ranges, |_, r| {
+                        let chunk = matched.get(r.clone()).unwrap_or(&[]);
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for (v, per_kw) in chunk {
+                            if let Some(run) = col.find(*v)? {
+                                let mut per_kw = per_kw.clone();
+                                if let Some(slot) = per_kw.get_mut(i) {
+                                    *slot = run;
+                                }
+                                out.push((*v, per_kw));
+                            }
                         }
-                        next.push((v, per_kw));
+                        Ok::<_, io::Error>(out)
+                    });
+                    let mut next = Vec::with_capacity(matched.len());
+                    for part in parts {
+                        next.extend(part?);
                     }
+                    matched = next;
+                } else {
+                    let mut next = Vec::with_capacity(matched.len());
+                    for (v, mut per_kw) in matched {
+                        if let Some(run) = col.find(v)? {
+                            if let Some(slot) = per_kw.get_mut(i) {
+                                *slot = run;
+                            }
+                            next.push((v, per_kw));
+                        }
+                    }
+                    matched = next;
                 }
-                matched = next;
             } else {
                 stats.merge_joins += 1;
                 let runs = col.scan()?;
-                let mut j = 0;
-                matched.retain_mut(|(v, per_kw)| {
-                    while runs.get(j).is_some_and(|r| r.value < *v) {
-                        j += 1;
-                    }
-                    match runs.get(j) {
-                        Some(r) if r.value == *v => {
-                            if let Some(slot) = per_kw.get_mut(i) {
-                                *slot = *r;
+                if parallel {
+                    let ranges =
+                        chunk_ranges(matched.len(), opts.parallelism.workers() * 4);
+                    let parts = parallel_map(opts.parallelism, &ranges, |_, r| {
+                        let chunk = matched.get(r.clone()).unwrap_or(&[]);
+                        let mut out = Vec::with_capacity(chunk.len());
+                        let mut j = 0usize;
+                        for (v, per_kw) in chunk {
+                            j = gallop_lower_bound(&runs, j, *v);
+                            match runs.get(j) {
+                                Some(run) if run.value == *v => {
+                                    let mut per_kw = per_kw.clone();
+                                    if let Some(slot) = per_kw.get_mut(i) {
+                                        *slot = *run;
+                                    }
+                                    out.push((*v, per_kw));
+                                }
+                                _ => {}
                             }
-                            true
                         }
-                        _ => false,
-                    }
-                });
+                        out
+                    });
+                    matched = parts.concat();
+                } else {
+                    // Galloping skip over the scanned runs: ascending
+                    // probe values let each step start where the last
+                    // ended, and the exponential search crosses long
+                    // non-matching stretches in O(log skip).
+                    let mut j = 0usize;
+                    matched.retain_mut(|(v, per_kw)| {
+                        j = gallop_lower_bound(&runs, j, *v);
+                        match runs.get(j) {
+                            Some(r) if r.value == *v => {
+                                if let Some(slot) = per_kw.get_mut(i) {
+                                    *slot = *r;
+                                }
+                                true
+                            }
+                            _ => false,
+                        }
+                    });
+                }
             }
         }
 
@@ -152,7 +217,7 @@ mod tests {
             std::process::id(),
             xml.len()
         ));
-        write_index(&ix, &path, WriteIndexOptions { include_scores: true }).unwrap();
+        write_index(&ix, &path, WriteIndexOptions { include_scores: true, ..Default::default() }).unwrap();
         let store = DiskColumnStore::open(&path).unwrap();
         (ix, store, path)
     }

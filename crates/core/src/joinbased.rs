@@ -39,7 +39,7 @@ use crate::eraser::Eraser;
 use crate::pool::{chunk_ranges, parallel_map, Parallelism};
 use crate::query::{ElcaVariant, Query, Semantics};
 use crate::result::ScoredResult;
-use xtk_index::columnar::{Column, Run};
+use xtk_index::columnar::{gallop_lower_bound, Column, Run};
 use xtk_index::{TermData, XmlIndex};
 
 /// Below this many matched values a level is evaluated serially — the
@@ -48,6 +48,13 @@ const PAR_MATCH_MIN: usize = 48;
 
 /// Below this many probe values an intersection step runs serially.
 const PAR_JOIN_MIN: usize = 2048;
+
+/// Galloping pays off when the scanned side is much longer than the probe
+/// side: each probe then skips ~runs/values entries, and the exponential
+/// search finds the next candidate in O(log skip) instead of O(skip).
+/// Below this runs-to-values ratio the plain two-pointer merge wins (its
+/// per-step cost is a compare + increment, no bracketing overhead).
+const GALLOP_RATIO: usize = 8;
 
 /// Join-plan selection for the per-level joins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -313,26 +320,70 @@ fn joined_values(
             let parts = parallel_map(par, &ranges, |_, r| {
                 let chunk = &values[r.clone()];
                 if use_index {
-                    chunk.iter().copied().filter(|&v| col.find(v).is_some()).collect()
+                    // Hinted probes: within a chunk the values ascend, so
+                    // each gallop starts where the previous one ended.
+                    let mut hint = 0usize;
+                    chunk
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            let (lb, hit) = col.find_hinted(v, hint);
+                            hint = lb;
+                            hit.is_some()
+                        })
+                        .collect()
                 } else {
-                    merge_intersect(chunk, col)
+                    intersect(chunk, col)
                 }
             });
             values = parts.concat();
         } else if use_index {
             stats.index_joins += 1;
-            values.retain(|&v| col.find(v).is_some());
+            let mut hint = 0usize;
+            values.retain(|&v| {
+                let (lb, hit) = col.find_hinted(v, hint);
+                hint = lb;
+                hit.is_some()
+            });
         } else {
             stats.merge_joins += 1;
-            values = merge_intersect(&values, col);
+            values = intersect(&values, col);
         }
     }
     values
 }
 
+/// Intersection of a sorted value list with a column, picking linear vs
+/// galloping from the cardinality ratio (see [`GALLOP_RATIO`]).
+pub fn intersect(values: &[u32], col: &Column) -> Vec<u32> {
+    if col.runs.len() >= GALLOP_RATIO * values.len().max(1) {
+        gallop_intersect(values, col)
+    } else {
+        merge_intersect(values, col)
+    }
+}
+
+/// Galloping intersection: for each probe value, exponential search from
+/// the current column position.  O(m log(n/m)) for m probes over n runs —
+/// the win when the column dwarfs the probe list.
+pub fn gallop_intersect(values: &[u32], col: &Column) -> Vec<u32> {
+    let runs = &col.runs;
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &v in values {
+        j = gallop_lower_bound(runs, j, v);
+        match runs.get(j) {
+            None => break,
+            Some(r) if r.value == v => out.push(v),
+            _ => {}
+        }
+    }
+    out
+}
+
 /// Two-pointer intersection of a sorted value list with a column,
 /// starting the column scan at the first run that can match.
-fn merge_intersect(values: &[u32], col: &Column) -> Vec<u32> {
+pub fn merge_intersect(values: &[u32], col: &Column) -> Vec<u32> {
     let mut out = Vec::new();
     let runs = &col.runs;
     let Some(&lo) = values.first() else {

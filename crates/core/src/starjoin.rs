@@ -60,12 +60,25 @@ pub struct Bucket {
     /// Per-mask lazy max-heap of `(sum, value)`; stale tops are skipped by
     /// checking against `entries`.
     groups: HashMap<u32, BinaryHeap<(F32Ord, u32)>>,
+    /// The keys of `groups`, kept sorted incrementally (binary-insert on
+    /// a new mask, removal when a group drains).  `threshold` runs per
+    /// retrieval step, so iterating this instead of collecting + sorting
+    /// the hash keys each call takes the O(m log m) sort off the hot path
+    /// — and keeps the iteration order deterministic (never the hash
+    /// map's).
+    mask_order: Vec<u32>,
 }
 
 impl Bucket {
     /// A bucket for a `k`-keyword star join.
     pub fn new(k: usize) -> Self {
-        Self { k, full: full_mask(k), entries: HashMap::new(), groups: HashMap::new() }
+        Self {
+            k,
+            full: full_mask(k),
+            entries: HashMap::new(),
+            groups: HashMap::new(),
+            mask_order: Vec::new(),
+        }
     }
 
     /// Number of partial results currently in the bucket.
@@ -100,6 +113,11 @@ impl Bucket {
             return Some(Completed { value, score: sum });
         }
         let (mask, sum) = (entry.mask, entry.sum);
+        if !self.groups.contains_key(&mask) {
+            if let Err(i) = self.mask_order.binary_search(&mask) {
+                self.mask_order.insert(i, mask);
+            }
+        }
         self.groups.entry(mask).or_default().push((F32Ord(sum), value));
         None
     }
@@ -112,13 +130,15 @@ impl Bucket {
         debug_assert_eq!(s.len(), self.k);
         // Case 1: results completely unseen in every relation.
         let mut best: f32 = s.iter().sum();
-        // Case 2: one term per non-empty group.
-        // Sorted for determinism: the max over group bounds is
-        // order-insensitive, but stale-entry eviction below mutates state.
-        let mut masks: Vec<u32> = self.groups.keys().copied().collect();
-        masks.sort_unstable();
-        for mask in masks {
-            let Some(heap) = self.groups.get_mut(&mask) else { continue };
+        // Case 2: one term per non-empty group, visited in the
+        // incrementally-sorted mask order (deterministic, no per-call
+        // sort); groups that turn out fully stale are dropped in place.
+        let mut mi = 0usize;
+        while let Some(&mask) = self.mask_order.get(mi) {
+            let Some(heap) = self.groups.get_mut(&mask) else {
+                self.mask_order.remove(mi);
+                continue;
+            };
             // Pop stale tops: the entry moved to another mask or completed.
             let ms = loop {
                 match heap.peek() {
@@ -135,6 +155,7 @@ impl Bucket {
             };
             let Some(ms) = ms else {
                 self.groups.remove(&mask);
+                self.mask_order.remove(mi);
                 continue;
             };
             let mut bound = ms;
@@ -144,6 +165,7 @@ impl Bucket {
                 }
             }
             best = best.max(bound);
+            mi += 1;
         }
         best
     }

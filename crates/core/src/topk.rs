@@ -175,6 +175,11 @@ fn drain_batch(
         return (Vec::new(), pos);
     };
     let mut out = Vec::new();
+    // Galloping hint into the column's runs: consecutive retrieved rows
+    // are often close (a segment's rows cluster), so restarting the
+    // `value_of_row` search near the previous hit beats a full binary
+    // search; a stale hint just restarts, never changes the answer.
+    let mut vhint = 0usize;
     while out.len() < cap {
         let mut best: Option<(usize, f32)> = None;
         for (si, seg) in term.segments.iter().enumerate() {
@@ -205,7 +210,9 @@ fn drain_batch(
             *p += 1;
         }
         // Retrieved rows reach this level by construction (seg.len >= level).
-        let Some(value) = col.value_of_row(row) else { break };
+        let (h, found) = col.value_of_row_hinted(row, vhint);
+        vhint = h;
+        let Some(value) = found else { break };
         out.push((row, damped, value));
     }
     (out, pos)
@@ -256,6 +263,10 @@ pub struct TopKStream<'a> {
     bucket: Bucket,
     rr: usize,
     s_max_col: Vec<f32>,
+    /// Per keyword: run-index hint for the candidate-run fetch in
+    /// `step()`, carried between completions so the galloping `find`
+    /// restarts near the previous hit (reset on column change).
+    find_hints: Vec<usize>,
     emitted: usize,
 }
 
@@ -287,6 +298,7 @@ impl<'a> TopKStream<'a> {
             bucket: Bucket::new(k.max(1)),
             rr: 0,
             s_max_col: vec![0.0; k],
+            find_hints: vec![0; k],
             emitted: 0,
             terms,
         };
@@ -317,6 +329,7 @@ impl<'a> TopKStream<'a> {
             b.clear();
             *x = false;
         }
+        self.find_hints.iter_mut().for_each(|h| *h = 0);
         self.ensure_heads();
         for (sm, b) in self.s_max_col.iter_mut().zip(&self.batches) {
             *sm = b.front().map(|&(_, d, _)| d).unwrap_or(0.0);
@@ -415,17 +428,24 @@ impl<'a> TopKStream<'a> {
             self.stats.candidates += 1;
             // Fetch the matched runs for the range check + erasure; a
             // completed value is present in every column by construction.
-            let runs: Vec<_> = self
-                .terms
-                .iter()
-                .filter_map(|t| {
-                    (l as usize)
-                        .checked_sub(1)
-                        .and_then(|i| t.columns.get(i))
-                        .and_then(|c| c.find(value))
-                        .copied()
-                })
-                .collect();
+            // Each keyword carries a galloping hint between completions —
+            // completed values cluster, and a stale hint just restarts.
+            let mut runs = Vec::with_capacity(self.terms.len());
+            for (ti, t) in self.terms.iter().enumerate() {
+                let Some(col) =
+                    (l as usize).checked_sub(1).and_then(|i| t.columns.get(i))
+                else {
+                    continue;
+                };
+                let hint = self.find_hints.get(ti).copied().unwrap_or(0);
+                let (lb, hit) = col.find_hinted(value, hint);
+                if let Some(h) = self.find_hints.get_mut(ti) {
+                    *h = lb;
+                }
+                if let Some(r) = hit {
+                    runs.push(*r);
+                }
+            }
             if runs.len() != self.terms.len() {
                 return true; // inconsistent index; skip this candidate
             }

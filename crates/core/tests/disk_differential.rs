@@ -1,0 +1,172 @@
+//! Differential tests for the disk executor: the answer to a query must
+//! not depend on the cache capacity, the worker count, or the file format
+//! version.  Results are compared **bit-identically** (nodes, levels,
+//! `f32` score bits, join stats) against a serial run over an unbounded
+//! cache, and the decode counters are pinned where the design makes them
+//! deterministic (unbounded cache: every block decoded at most once, by
+//! whichever worker gets there first).
+
+use std::sync::Arc;
+use xtk_core::diskexec::join_search_disk;
+use xtk_core::joinbased::JoinOptions;
+use xtk_core::pool::Parallelism;
+use xtk_core::query::{Query, Semantics};
+use xtk_core::result::ScoredResult;
+use xtk_index::cache::{BlockCache, ShardedLruCache, DEFAULT_CAPACITY_BLOCKS};
+use xtk_index::disk::{write_index, FormatVersion, WriteIndexOptions};
+use xtk_index::diskcol::DiskColumnStore;
+use xtk_index::XmlIndex;
+
+const PARS: [Parallelism; 3] =
+    [Parallelism::Fixed(2), Parallelism::Fixed(8), Parallelism::Auto];
+
+/// A corpus wide enough that the intermediate result crosses the
+/// parallel-probe threshold and the long lists span many blocks.
+fn corpus(n: usize) -> String {
+    let mut xml = String::from("<r>");
+    for i in 0..n {
+        xml.push_str(&format!(
+            "<conf><p><t>common topic{}</t></p><p>rare{}</p></conf>",
+            i % 7,
+            i % 91
+        ));
+    }
+    xml.push_str("</r>");
+    xml
+}
+
+fn write_tmp(ix: &XmlIndex, tag: &str, format: FormatVersion) -> std::path::PathBuf {
+    let path = std::env::temp_dir()
+        .join(format!("xtk_diskdiff_{tag}_{}.bin", std::process::id()));
+    write_index(ix, &path, WriteIndexOptions { include_scores: true, format }).unwrap();
+    path
+}
+
+fn assert_bit_identical(base: &[ScoredResult], got: &[ScoredResult], what: &str) {
+    assert_eq!(base.len(), got.len(), "{what}: result count");
+    for (a, b) in base.iter().zip(got) {
+        assert_eq!(a.node, b.node, "{what}: node");
+        assert_eq!(a.level, b.level, "{what}: level");
+        assert_eq!(a.score.to_bits(), b.score.to_bits(), "{what}: score bits");
+    }
+}
+
+#[test]
+fn results_invariant_under_cache_capacity_and_parallelism() {
+    let xml = corpus(900);
+    let ix = XmlIndex::build(xtk_xml::parse(&xml).unwrap());
+    let path = write_tmp(&ix, "cap", FormatVersion::V2);
+    let queries = [
+        vec!["common", "rare17"],
+        vec!["common", "topic3"],
+        vec!["topic1", "rare5", "common"],
+    ];
+    type CacheCtor = fn() -> Arc<dyn BlockCache>;
+    let caches: Vec<(&str, CacheCtor)> = vec![
+        ("one-block", || Arc::new(ShardedLruCache::with_block_capacity(1))),
+        ("default", || {
+            Arc::new(ShardedLruCache::with_block_capacity(DEFAULT_CAPACITY_BLOCKS))
+        }),
+        ("tiny-bytes", || Arc::new(ShardedLruCache::with_byte_capacity(1 << 13))),
+        ("unbounded", || Arc::new(ShardedLruCache::unbounded())),
+    ];
+
+    for words in &queries {
+        let q = Query::from_words(&ix, words).unwrap();
+        for semantics in [Semantics::Elca, Semantics::Slca] {
+            // Baseline: serial over an unbounded cache, cold.
+            let base_store =
+                DiskColumnStore::open_with_cache(&path, Arc::new(ShardedLruCache::unbounded()))
+                    .unwrap();
+            let base_opts =
+                JoinOptions { semantics, with_scores: true, ..Default::default() };
+            let (base, base_stats, base_reads) =
+                join_search_disk(&ix, &base_store, &q, &base_opts).unwrap();
+            assert!(base_reads > 0, "cold baseline must decode blocks");
+
+            for (name, mk_cache) in &caches {
+                for par in [Parallelism::Serial, PARS[0], PARS[1], PARS[2]] {
+                    let store = DiskColumnStore::open_with_cache(&path, mk_cache()).unwrap();
+                    let opts = JoinOptions { parallelism: par, ..base_opts };
+                    let (got, stats, reads) =
+                        join_search_disk(&ix, &store, &q, &opts).unwrap();
+                    let what = format!("{words:?} {semantics:?} cache={name} par={par}");
+                    assert_bit_identical(&base, &got, &what);
+                    assert_eq!(base_stats, stats, "{what}: join stats");
+                    assert!(reads > 0, "{what}: cold run must decode");
+                    if *name == "unbounded" {
+                        // Every needed block is decoded exactly once —
+                        // the double-checked insert makes the count equal
+                        // to the serial one even with racing workers.
+                        assert_eq!(base_reads, reads, "{what}: decode count");
+                    }
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn capacity_one_still_terminates_and_repeats_deterministically() {
+    // The worst cache (one block) forces re-decodes; two identical runs
+    // on one store must still agree with each other bit for bit.
+    let xml = corpus(400);
+    let ix = XmlIndex::build(xtk_xml::parse(&xml).unwrap());
+    let path = write_tmp(&ix, "cap1", FormatVersion::V2);
+    let store = DiskColumnStore::open_with_cache(
+        &path,
+        Arc::new(ShardedLruCache::with_block_capacity(1)),
+    )
+    .unwrap();
+    let q = Query::from_words(&ix, &["common", "rare17"]).unwrap();
+    let opts = JoinOptions { with_scores: true, ..Default::default() };
+    let (a, sa, _) = join_search_disk(&ix, &store, &q, &opts).unwrap();
+    let (b, sb, _) = join_search_disk(&ix, &store, &q, &opts).unwrap();
+    assert_bit_identical(&a, &b, "repeat on capacity-1 cache");
+    assert_eq!(sa, sb);
+    assert!(store.cache_stats().evictions > 0, "capacity 1 must evict");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v2_footers_cut_cold_decodes_versus_v1() {
+    // Same corpus, same queries, both formats: identical answers, and the
+    // v2 row-prefix directory must decode strictly fewer blocks cold.
+    // The probing keyword lives only in the last few documents, so every
+    // index-join probe lands in the *final* blocks of the long list —
+    // v1 pays for decoding blocks `0..b` to recover the row prefix, v2
+    // reads it straight from the directory.
+    let mut xml = String::from("<r>");
+    let n = 6000;
+    for i in 0..n {
+        if i >= n - 5 {
+            xml.push_str(&format!("<conf><p><t>common tail</t></p><p>x{i}</p></conf>"));
+        } else {
+            xml.push_str(&format!(
+                "<conf><p><t>common topic{}</t></p><p>rare{}</p></conf>",
+                i % 7,
+                i % 91
+            ));
+        }
+    }
+    xml.push_str("</r>");
+    let ix = XmlIndex::build(xtk_xml::parse(&xml).unwrap());
+    let p1 = write_tmp(&ix, "v1", FormatVersion::V1);
+    let p2 = write_tmp(&ix, "v2", FormatVersion::V2);
+    let s1 = DiskColumnStore::open(&p1).unwrap();
+    let s2 = DiskColumnStore::open(&p2).unwrap();
+    let q = Query::from_words(&ix, &["common", "tail"]).unwrap();
+    let opts = JoinOptions { with_scores: true, ..Default::default() };
+    let (r1, st1, reads1) = join_search_disk(&ix, &s1, &q, &opts).unwrap();
+    let (r2, st2, reads2) = join_search_disk(&ix, &s2, &q, &opts).unwrap();
+    assert_bit_identical(&r1, &r2, "v1 vs v2");
+    assert_eq!(st1, st2);
+    assert!(!r1.is_empty(), "tail query must produce results");
+    assert!(
+        reads2 < reads1,
+        "v2 must decode fewer blocks cold: v1 {reads1} vs v2 {reads2}"
+    );
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+}

@@ -1,0 +1,132 @@
+//! Property tests for the galloping join primitives: on random run sets
+//! — including empty columns, singleton runs, and adjacent values — the
+//! exponential-search paths must agree element for element with the
+//! two-pointer merge and with a naive reference, and every hinted lookup
+//! must agree with its un-hinted counterpart under arbitrary (stale,
+//! backwards, out-of-range) hints.
+
+use xtk_core::joinbased::{gallop_intersect, intersect, merge_intersect};
+use xtk_index::columnar::{gallop_lower_bound, gallop_partition_point, Column, Run};
+use xtk_xml::testutil::{prop_check, Gen};
+
+/// A random well-formed column: strictly increasing run values (gap 1
+/// makes adjacent values common), contiguous ascending row ranges, run
+/// lengths 1–4 (singletons common).  Empty columns are produced when
+/// `runs == 0`.
+fn random_column(g: &mut Gen) -> Column {
+    let n = g.gen_range(0..(g.size() + 2));
+    let mut runs = Vec::with_capacity(n);
+    let mut value = g.gen_range(0..5u32);
+    let mut start = 0u32;
+    for _ in 0..n {
+        let len = g.gen_range(1..5u32);
+        runs.push(Run { value, start, len });
+        start += len;
+        // Gap 1 (adjacent) with probability ~1/2, else a jump.
+        value += if g.gen_bool(0.5) { 1 } else { g.gen_range(2..40u32) };
+    }
+    Column { runs }
+}
+
+/// A random sorted, deduplicated probe list drawn from the same value
+/// range as the column (so hits and misses both occur), sometimes empty.
+fn random_probes(g: &mut Gen, col: &Column) -> Vec<u32> {
+    let hi = col.runs.last().map(|r| r.value + 3).unwrap_or(50);
+    let n = g.gen_range(0..(g.size() + 2));
+    let mut vs: Vec<u32> = (0..n).map(|_| g.gen_range(0..hi.max(1))).collect();
+    vs.sort_unstable();
+    vs.dedup();
+    vs
+}
+
+fn naive_intersect(values: &[u32], col: &Column) -> Vec<u32> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| col.runs.iter().any(|r| r.value == *v))
+        .collect()
+}
+
+#[test]
+fn gallop_agrees_with_merge_and_naive() {
+    prop_check(0x71, 64, |g| {
+        let col = random_column(g);
+        let values = random_probes(g, &col);
+        let want = naive_intersect(&values, &col);
+        assert_eq!(gallop_intersect(&values, &col), want, "gallop vs naive");
+        assert_eq!(merge_intersect(&values, &col), want, "merge vs naive");
+        assert_eq!(intersect(&values, &col), want, "chooser vs naive");
+    });
+}
+
+#[test]
+fn gallop_handles_degenerate_shapes() {
+    let empty = Column { runs: vec![] };
+    let single = Column { runs: vec![Run { value: 7, start: 0, len: 1 }] };
+    let adjacent = Column {
+        runs: (0..5).map(|i| Run { value: i, start: i, len: 1 }).collect(),
+    };
+    for col in [&empty, &single, &adjacent] {
+        for values in [vec![], vec![0], vec![7], vec![0, 1, 2, 3, 4, 7, 9]] {
+            let want = naive_intersect(&values, col);
+            assert_eq!(gallop_intersect(&values, col), want);
+            assert_eq!(merge_intersect(&values, col), want);
+            assert_eq!(intersect(&values, col), want);
+        }
+    }
+}
+
+#[test]
+fn gallop_lower_bound_agrees_with_partition_point() {
+    prop_check(0x72, 64, |g| {
+        let col = random_column(g);
+        let runs = &col.runs;
+        let hi = runs.last().map(|r| r.value + 3).unwrap_or(10);
+        for _ in 0..8 {
+            let v = g.gen_range(0..hi.max(1));
+            let want = runs.partition_point(|r| r.value < v);
+            // Any `from` below or at the true lower bound satisfies the
+            // precondition (predicate holds on everything before `from`).
+            let from = g.gen_range(0..want + 1);
+            assert_eq!(gallop_lower_bound(runs, from, v), want, "from {from}, v {v}");
+            // `gallop_partition_point` with the same predicate, from 0.
+            assert_eq!(gallop_partition_point(runs, 0, |r| r.value < v), want);
+        }
+    });
+}
+
+#[test]
+fn hinted_lookups_agree_with_unhinted_under_any_hint() {
+    prop_check(0x73, 64, |g| {
+        let col = random_column(g);
+        let hi = col.runs.last().map(|r| r.value + 3).unwrap_or(10);
+        let rows = col.runs.last().map(|r| r.end() + 2).unwrap_or(5);
+        for _ in 0..8 {
+            // Hints are arbitrary: stale, backwards, or past the end —
+            // the validated restart must keep the answer exact.
+            let hint = g.gen_range(0..col.runs.len() + 3);
+            let v = g.gen_range(0..hi.max(1));
+            let (_, hit) = col.find_hinted(v, hint);
+            assert_eq!(hit, col.find(v), "find_hinted({v}, {hint})");
+            let row = g.gen_range(0..rows.max(1));
+            let (_, value) = col.value_of_row_hinted(row, hint);
+            assert_eq!(value, col.value_of_row(row), "value_of_row_hinted({row}, {hint})");
+        }
+    });
+}
+
+#[test]
+fn ascending_probe_chain_with_carried_hints_is_exact() {
+    // The production pattern: probes ascend and each lookup's returned
+    // index seeds the next hint.
+    prop_check(0x74, 32, |g| {
+        let col = random_column(g);
+        let values = random_probes(g, &col);
+        let mut hint = 0usize;
+        for &v in &values {
+            let (h, hit) = col.find_hinted(v, hint);
+            hint = h;
+            assert_eq!(hit, col.find(v), "carried-hint find({v})");
+        }
+    });
+}

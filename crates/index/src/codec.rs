@@ -47,6 +47,14 @@ pub struct CompressedColumn {
     pub block_offsets: Vec<u32>,
     /// First (smallest) value stored in each block.
     pub block_first_values: Vec<u32>,
+    /// Number of rows encoded in each block (format v2 footer).  Lets a
+    /// reader compute the global-row prefix of any block in O(1) instead
+    /// of decoding every preceding block.
+    pub block_rows: Vec<u32>,
+    /// Last (largest) value stored in each block (format v2 footer).
+    /// With `block_first_values` this brackets the block's value range,
+    /// so probes outside `[first, last]` skip the decode outright.
+    pub block_last_values: Vec<u32>,
 }
 
 impl CompressedColumn {
@@ -73,6 +81,18 @@ pub fn write_varint(mut v: u32, out: &mut Vec<u8>) {
         }
         out.push(byte | 0x80);
     }
+}
+
+/// Number of bytes [`write_varint`] emits for `v`, for size accounting
+/// that must match the writer byte for byte.
+pub fn varint_len(mut v: u32) -> usize {
+    let mut n = 1;
+    v >>= 7;
+    while v != 0 {
+        n += 1;
+        v >>= 7;
+    }
+    n
 }
 
 /// Reads a LEB128 varint, advancing `pos`: `None` on truncation or a
@@ -110,16 +130,31 @@ pub fn encode_column(col: &Column, scheme: Scheme) -> CompressedColumn {
     let mut bytes = Vec::new();
     let mut block_offsets = Vec::new();
     let mut block_first_values = Vec::new();
+    let mut block_rows: Vec<u32> = Vec::new();
+    let mut block_last_values: Vec<u32> = Vec::new();
     let mut block_start = 0usize;
     let mut prev: Option<u32> = None;
 
     let begin_block = |bytes: &mut Vec<u8>,
                            block_offsets: &mut Vec<u32>,
                            block_first_values: &mut Vec<u32>,
+                           block_rows: &mut Vec<u32>,
+                           block_last_values: &mut Vec<u32>,
                            value: u32| {
         block_offsets.push(bytes.len() as u32);
         block_first_values.push(value);
+        block_rows.push(0);
+        block_last_values.push(value);
         bytes.extend_from_slice(&value.to_le_bytes());
+    };
+    // Footer bookkeeping for the entry just encoded into the open block.
+    let account = |block_rows: &mut Vec<u32>, block_last_values: &mut Vec<u32>, value: u32, rows: u32| {
+        if let Some(r) = block_rows.last_mut() {
+            *r += rows;
+        }
+        if let Some(l) = block_last_values.last_mut() {
+            *l = value;
+        }
     };
 
     match scheme {
@@ -136,10 +171,13 @@ pub fn encode_column(col: &Column, scheme: Scheme) -> CompressedColumn {
                                 &mut bytes,
                                 &mut block_offsets,
                                 &mut block_first_values,
+                                &mut block_rows,
+                                &mut block_last_values,
                                 run.value,
                             );
                         }
                     }
+                    account(&mut block_rows, &mut block_last_values, run.value, 1);
                     prev = Some(run.value);
                 }
             }
@@ -156,16 +194,19 @@ pub fn encode_column(col: &Column, scheme: Scheme) -> CompressedColumn {
                             &mut bytes,
                             &mut block_offsets,
                             &mut block_first_values,
+                            &mut block_rows,
+                            &mut block_last_values,
                             run.value,
                         );
                     }
                 }
+                account(&mut block_rows, &mut block_last_values, run.value, run.len);
                 prev = Some(run.value);
                 write_varint(run.len, &mut bytes);
             }
         }
     }
-    CompressedColumn { scheme, bytes, block_offsets, block_first_values }
+    CompressedColumn { scheme, bytes, block_offsets, block_first_values, block_rows, block_last_values }
 }
 
 /// Decompresses a column.
@@ -320,6 +361,31 @@ mod tests {
         assert_eq!(choose_scheme(&many_distinct), Scheme::Delta);
         let few_distinct = col(&[(1, 0, 10), (2, 10, 10)]);
         assert_eq!(choose_scheme(&few_distinct), Scheme::Rle);
+    }
+
+    #[test]
+    fn footers_bracket_each_block() {
+        for (scheme, runs) in [
+            (Scheme::Delta, (0..20_000).map(|i| (i * 3, i, 1)).collect::<Vec<_>>()),
+            (Scheme::Rle, (0..9_000).map(|i| (i * 2, i * 3, 3)).collect::<Vec<_>>()),
+        ] {
+            let c = col(&runs);
+            let cc = encode_column(&c, scheme);
+            assert!(cc.block_count() > 1, "{scheme:?}");
+            assert_eq!(cc.block_rows.len(), cc.block_count());
+            assert_eq!(cc.block_last_values.len(), cc.block_count());
+            // Row counts per block sum to the column's total.
+            let total: u64 = cc.block_rows.iter().map(|&r| r as u64).sum();
+            assert_eq!(total, c.row_count(), "{scheme:?}");
+            // first <= last within a block; blocks ordered and non-empty.
+            for b in 0..cc.block_count() {
+                assert!(cc.block_first_values[b] <= cc.block_last_values[b]);
+                assert!(cc.block_rows[b] > 0);
+                if b > 0 {
+                    assert!(cc.block_last_values[b - 1] <= cc.block_first_values[b]);
+                }
+            }
+        }
     }
 
     #[test]

@@ -88,6 +88,44 @@ impl Column {
         }
     }
 
+    /// [`find`](Self::find) with a galloping restart: searches from run
+    /// index `hint` (validated, so a stale hint is safe) and returns the
+    /// lower-bound index alongside the hit, for the caller to carry as
+    /// the next hint.  With ascending probe values the whole probe
+    /// sequence costs O(m log(n/m)) instead of O(m log n).
+    pub fn find_hinted(&self, value: u32, hint: usize) -> (usize, Option<&Run>) {
+        let from = if hint == 0
+            || self.runs.get(hint.wrapping_sub(1)).is_some_and(|r| r.value < value)
+        {
+            hint.min(self.runs.len())
+        } else {
+            0 // stale hint (probe went backwards): restart
+        };
+        let lb = gallop_lower_bound(&self.runs, from, value);
+        let hit = self.runs.get(lb).filter(|r| r.value == value);
+        (lb, hit)
+    }
+
+    /// [`value_of_row`](Self::value_of_row) with a galloping restart from
+    /// run index `hint`; returns the located run index for the caller to
+    /// carry as the next hint.  Ascending row probes (the top-K batch
+    /// drain pattern) then cost amortized O(1)–O(log) per probe.
+    pub fn value_of_row_hinted(&self, row: u32, hint: usize) -> (usize, Option<u32>) {
+        let from = if hint == 0
+            || self.runs.get(hint.wrapping_sub(1)).is_some_and(|r| r.end() <= row)
+        {
+            hint.min(self.runs.len())
+        } else {
+            0
+        };
+        let i = gallop_partition_point(&self.runs, from, |r| r.end() <= row);
+        let hit = match self.runs.get(i) {
+            Some(r) if r.start <= row => Some(r.value),
+            _ => None,
+        };
+        (i, hit)
+    }
+
     /// The runs fully contained in the row range `[start, end)`.
     ///
     /// Containment-or-disjointness (§III-E) means a binary search on
@@ -100,6 +138,45 @@ impl Column {
         debug_assert!(self.runs[lo..hi].iter().all(|r| r.end() <= end));
         &self.runs[lo..hi]
     }
+}
+
+/// Galloping (exponential) variant of `partition_point` that starts at
+/// `from`: doubles the step until `pred` first fails, then binary-searches
+/// the bracketed window.  Requires the usual partition precondition (`pred`
+/// is true on a prefix) **and** that every index `< from` satisfies `pred`;
+/// cost is O(log d) where `d` is the distance from `from` to the answer —
+/// the win over a plain binary search when probes advance monotonically.
+pub fn gallop_partition_point<F: Fn(&Run) -> bool>(runs: &[Run], from: usize, pred: F) -> usize {
+    let n = runs.len();
+    match runs.get(from) {
+        None => return n, // `from` at or past the end
+        Some(r) if !pred(r) => return from,
+        _ => {}
+    }
+    // runs[from] satisfies pred; gallop until the first failure.
+    let mut last_true = from;
+    let mut step = 1usize;
+    loop {
+        let cand = from.saturating_add(step);
+        match runs.get(cand) {
+            Some(r) if pred(r) => {
+                last_true = cand;
+                step = step.saturating_mul(2);
+            }
+            _ => {
+                // Answer lies in (last_true, min(cand, n)].
+                let hi = cand.min(n);
+                let window = runs.get(last_true + 1..hi).unwrap_or(&[]);
+                return last_true + 1 + window.partition_point(|r| pred(r));
+            }
+        }
+    }
+}
+
+/// Index of the first run with `value >= v`, galloping from `from` (all
+/// runs before `from` must have `value < v`).
+pub fn gallop_lower_bound(runs: &[Run], from: usize, value: u32) -> usize {
+    gallop_partition_point(runs, from, |r| r.value < value)
 }
 
 /// Builds the per-level columns for one keyword from its posting list
@@ -221,6 +298,64 @@ mod tests {
         assert_eq!(inside.len(), 1);
         assert_eq!(inside[0].value, 7);
         assert!(child.runs_in_rows(6, 9).is_empty());
+    }
+
+    #[test]
+    fn gallop_matches_partition_point_everywhere() {
+        let runs: Vec<Run> = (0..200u32)
+            .map(|i| Run { value: i * 3, start: i * 2, len: 2 })
+            .collect();
+        for from in [0usize, 1, 7, 100, 199, 200, 500] {
+            for v in 0..=620u32 {
+                // Precondition: every index < from has value < v.
+                if !runs[..from.min(runs.len())].iter().all(|r| r.value < v) {
+                    continue;
+                }
+                let want = runs.partition_point(|r| r.value < v);
+                assert_eq!(gallop_lower_bound(&runs, from, v), want, "from={from} v={v}");
+            }
+        }
+        assert_eq!(gallop_lower_bound(&[], 0, 5), 0);
+    }
+
+    #[test]
+    fn find_hinted_agrees_with_find() {
+        let col = Column {
+            runs: vec![
+                Run { value: 2, start: 0, len: 3 },
+                Run { value: 5, start: 3, len: 1 },
+                Run { value: 9, start: 4, len: 2 },
+                Run { value: 14, start: 6, len: 1 },
+            ],
+        };
+        let mut hint = 0;
+        for v in 0..20u32 {
+            let (lb, hit) = col.find_hinted(v, hint);
+            assert_eq!(hit, col.find(v), "v={v}");
+            hint = lb;
+        }
+        // Stale (backwards) hints restart safely.
+        assert_eq!(col.find_hinted(2, 3).1, col.find(2));
+        assert_eq!(col.find_hinted(0, 4).1, None);
+    }
+
+    #[test]
+    fn value_of_row_hinted_agrees_with_value_of_row() {
+        let col = Column {
+            runs: vec![
+                Run { value: 2, start: 0, len: 3 },
+                Run { value: 5, start: 5, len: 2 },
+                Run { value: 9, start: 7, len: 1 },
+            ],
+        };
+        let mut hint = 0;
+        for row in 0..10u32 {
+            let (i, v) = col.value_of_row_hinted(row, hint);
+            assert_eq!(v, col.value_of_row(row), "row={row}");
+            hint = i;
+        }
+        // Backwards probe with a now-stale hint.
+        assert_eq!(col.value_of_row_hinted(0, 2).1, col.value_of_row(0));
     }
 
     #[test]

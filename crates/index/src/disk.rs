@@ -64,14 +64,37 @@ use std::fs::File;
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 
-/// File magic: "XTKC" + format version 1.
-const MAGIC: u32 = 0x58544B01;
+/// File magic: "XTK" + format version 1 (no per-block footers).
+pub(crate) const MAGIC_V1: u32 = 0x58544B01;
+/// File magic: "XTK" + format version 2 (per-block row-count and
+/// last-value footers in the directory).
+pub(crate) const MAGIC_V2: u32 = 0x58544B02;
+
+/// On-disk format version.
+///
+/// * [`V1`](FormatVersion::V1) — the original directory: per block
+///   `(offset, first value)`.  Computing the global-row prefix of block
+///   `b` requires decoding blocks `0..b`.
+/// * [`V2`](FormatVersion::V2) — adds per-block `(row count,
+///   last value)` footers, so a reader locates any probe in O(1)
+///   directory work and skips blocks whose `[first, last]` range cannot
+///   contain the probe.  Readers accept both versions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FormatVersion {
+    /// Original format, kept writable for compatibility tests.
+    V1,
+    /// Current format with block footers (the default).
+    #[default]
+    V2,
+}
 
 /// Options for writing.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WriteIndexOptions {
     /// Include per-posting local scores (the top-K flavor of the index).
     pub include_scores: bool,
+    /// File format version to emit (defaults to the current one).
+    pub format: FormatVersion,
 }
 
 /// One term as read back from disk.
@@ -93,50 +116,100 @@ pub struct PersistedIndex {
     pub terms: HashMap<String, PersistedTerm>,
 }
 
+/// Encodes the file header into `buf`.
+fn encode_header(ix: &XmlIndex, opts: WriteIndexOptions, buf: &mut Vec<u8>) {
+    let magic = match opts.format {
+        FormatVersion::V1 => MAGIC_V1,
+        FormatVersion::V2 => MAGIC_V2,
+    };
+    write_varint(magic, buf);
+    write_varint(ix.vocab_size() as u32, buf);
+    buf.push(opts.include_scores as u8);
+}
+
+/// Encodes one term record (vocabulary entry, lengths array, optional
+/// scores, and every column's directory + payload) into `buf`.  Shared
+/// by [`write_index`] and [`persisted_file_bytes`] so size accounting
+/// can never drift from the real writer.
+fn encode_term_record(
+    ix: &XmlIndex,
+    term: &crate::builder::TermData,
+    opts: WriteIndexOptions,
+    buf: &mut Vec<u8>,
+) {
+    write_varint(term.term.len() as u32, buf);
+    buf.extend_from_slice(term.term.as_bytes());
+    write_varint(term.postings.len() as u32, buf);
+    // Lengths array.
+    for &n in &term.postings {
+        write_varint(ix.tree().depth(n) as u32, buf);
+    }
+    if opts.include_scores {
+        for &s in &term.scores {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    write_varint(term.columns.len() as u32, buf);
+    for col in &term.columns {
+        let scheme = choose_scheme(col);
+        let cc = encode_column(col, scheme);
+        buf.push(match scheme {
+            Scheme::Delta => 0,
+            Scheme::Rle => 1,
+        });
+        write_varint(cc.block_offsets.len() as u32, buf);
+        for b in 0..cc.block_offsets.len() {
+            let off = cc.block_offsets.get(b).copied().unwrap_or(0);
+            let first = cc.block_first_values.get(b).copied().unwrap_or(0);
+            write_varint(off, buf);
+            write_varint(first, buf);
+            if opts.format == FormatVersion::V2 {
+                // Footer: row count + last value as a delta from the
+                // first (values inside a block are non-decreasing, so
+                // the delta is small and varints stay short).
+                let rows = cc.block_rows.get(b).copied().unwrap_or(0);
+                let last = cc.block_last_values.get(b).copied().unwrap_or(first);
+                write_varint(rows, buf);
+                write_varint(last.saturating_sub(first), buf);
+            }
+        }
+        write_varint(cc.bytes.len() as u32, buf);
+        buf.extend_from_slice(&cc.bytes);
+    }
+}
+
 /// Serializes the columnar part of `ix` to `path`.  Returns bytes written.
 pub fn write_index(ix: &XmlIndex, path: &Path, opts: WriteIndexOptions) -> io::Result<u64> {
     let file = File::create(path)?;
     let mut w = CountingWriter { inner: BufWriter::new(file), written: 0 };
     let mut buf = Vec::new();
-    write_varint(MAGIC, &mut buf);
-    write_varint(ix.vocab_size() as u32, &mut buf);
-    buf.push(opts.include_scores as u8);
+    encode_header(ix, opts, &mut buf);
     w.write_all(&buf)?;
 
     for (_, term) in ix.terms() {
         buf.clear();
-        write_varint(term.term.len() as u32, &mut buf);
-        buf.extend_from_slice(term.term.as_bytes());
-        write_varint(term.postings.len() as u32, &mut buf);
-        // Lengths array.
-        for &n in &term.postings {
-            write_varint(ix.tree().depth(n) as u32, &mut buf);
-        }
-        if opts.include_scores {
-            for &s in &term.scores {
-                buf.extend_from_slice(&s.to_le_bytes());
-            }
-        }
-        write_varint(term.columns.len() as u32, &mut buf);
-        for col in &term.columns {
-            let scheme = choose_scheme(col);
-            let cc = encode_column(col, scheme);
-            buf.push(match scheme {
-                Scheme::Delta => 0,
-                Scheme::Rle => 1,
-            });
-            write_varint(cc.block_offsets.len() as u32, &mut buf);
-            for (&off, &first) in cc.block_offsets.iter().zip(&cc.block_first_values) {
-                write_varint(off, &mut buf);
-                write_varint(first, &mut buf);
-            }
-            write_varint(cc.bytes.len() as u32, &mut buf);
-            buf.extend_from_slice(&cc.bytes);
-        }
+        encode_term_record(ix, term, opts, &mut buf);
         w.write_all(&buf)?;
     }
     w.inner.flush()?;
     Ok(w.written)
+}
+
+/// Exact size in bytes of the file [`write_index`] would produce, without
+/// touching the filesystem.  Built on the same encoders as the writer,
+/// so the Table I accounting in [`crate::sizes`] can be checked against
+/// the genuine article.
+pub fn persisted_file_bytes(ix: &XmlIndex, opts: WriteIndexOptions) -> u64 {
+    let mut total = 0u64;
+    let mut buf = Vec::new();
+    encode_header(ix, opts, &mut buf);
+    total += buf.len() as u64;
+    for (_, term) in ix.terms() {
+        buf.clear();
+        encode_term_record(ix, term, opts, &mut buf);
+        total += buf.len() as u64;
+    }
+    total
 }
 
 /// Reads an index file back into memory.
@@ -148,9 +221,11 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
     File::open(path)?.read_to_end(&mut bytes)?;
     let mut r = ByteReader::new(&bytes);
     let magic = r.varint("magic")?;
-    if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
-    }
+    let format = match magic {
+        MAGIC_V1 => FormatVersion::V1,
+        MAGIC_V2 => FormatVersion::V2,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic")),
+    };
     let n_terms = r.varint("term count")? as usize;
     let with_scores = r.byte("score flag")? != 0;
 
@@ -207,9 +282,19 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
             let n_blocks = r.varint("block count")? as usize;
             let mut block_offsets = Vec::new();
             let mut block_first_values = Vec::new();
+            let mut block_rows = Vec::new();
+            let mut block_last_values = Vec::new();
             for _ in 0..n_blocks {
                 block_offsets.push(r.varint("block offset")?);
-                block_first_values.push(r.varint("block first value")?);
+                let first = r.varint("block first value")?;
+                block_first_values.push(first);
+                if format == FormatVersion::V2 {
+                    block_rows.push(r.varint("block row count")?);
+                    let span = r.varint("block last-value delta")?;
+                    block_last_values.push(first.checked_add(span).ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "block last value overflow")
+                    })?);
+                }
             }
             let payload_len = r.varint("payload length")? as usize;
             let payload = r.take(payload_len, "payload")?.to_vec();
@@ -221,7 +306,14 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
                     ));
                 }
             }
-            let cc = CompressedColumn { scheme, bytes: payload, block_offsets, block_first_values };
+            let cc = CompressedColumn {
+                scheme,
+                bytes: payload,
+                block_offsets,
+                block_first_values,
+                block_rows,
+                block_last_values,
+            };
             // Present rows at level l: postings with depth >= l.
             let level = (level0 + 1) as u16;
             let present: Vec<u32> = depths
@@ -278,9 +370,11 @@ mod tests {
             parse("<r><a><p>xml data</p><q>xml</q></a><b><s>data xml</s></b></r>").unwrap(),
         );
         let path = tmp("roundtrip");
-        let bytes = write_index(&ix, &path, WriteIndexOptions { include_scores: true }).unwrap();
+        let opts = WriteIndexOptions { include_scores: true, ..Default::default() };
+        let bytes = write_index(&ix, &path, opts).unwrap();
         assert!(bytes > 0);
         assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(bytes, persisted_file_bytes(&ix, opts));
         let loaded = read_index(&path).unwrap();
         assert_eq!(loaded.terms.len(), ix.vocab_size());
         for (_, term) in ix.terms() {
@@ -303,6 +397,59 @@ mod tests {
         assert!(loaded.terms["w"].scores.is_none());
         assert_eq!(loaded.terms["w"].columns, ix.term_by_str("w").unwrap().columns);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_files_still_read_identically() {
+        let mut xml = String::from("<r>");
+        for i in 0..400 {
+            xml.push_str(&format!("<p><t>old format{} data</t></p>", i % 13));
+        }
+        xml.push_str("</r>");
+        let ix = XmlIndex::build(parse(&xml).unwrap());
+        let p1 = tmp("v1compat");
+        let p2 = tmp("v2compat");
+        let b1 = write_index(
+            &ix,
+            &p1,
+            WriteIndexOptions { include_scores: true, format: FormatVersion::V1 },
+        )
+        .unwrap();
+        let b2 = write_index(
+            &ix,
+            &p2,
+            WriteIndexOptions { include_scores: true, format: FormatVersion::V2 },
+        )
+        .unwrap();
+        // Footers cost bytes; v1 must stay strictly smaller.
+        assert!(b1 < b2, "v1 {b1} vs v2 {b2}");
+        let l1 = read_index(&p1).unwrap();
+        let l2 = read_index(&p2).unwrap();
+        assert_eq!(l1.terms.len(), l2.terms.len());
+        for (term, t1) in &l1.terms {
+            let t2 = &l2.terms[term.as_str()];
+            assert_eq!(t1.columns, t2.columns, "columns differ for {term}");
+            assert_eq!(t1.depths, t2.depths);
+        }
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn persisted_file_bytes_matches_writer_for_both_formats() {
+        let ix = XmlIndex::build(
+            parse("<r><a><p>exact size</p></a><b>size accounting exact</b></r>").unwrap(),
+        );
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            for include_scores in [false, true] {
+                let opts = WriteIndexOptions { include_scores, format };
+                let path = tmp(&format!("sz_{format:?}_{include_scores}"));
+                let written = write_index(&ix, &path, opts).unwrap();
+                assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+                assert_eq!(written, persisted_file_bytes(&ix, opts), "{opts:?}");
+                std::fs::remove_file(&path).ok();
+            }
+        }
     }
 
     #[test]

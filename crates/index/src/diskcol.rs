@@ -9,35 +9,66 @@
 //! [`DiskColumnStore`] provides exactly that access pattern over the file
 //! written by [`crate::disk::write_index`]: per term and level it exposes
 //! a [`DiskColumn`] whose `find` decodes **at most one block** (located
-//! via the sparse keys) and whose `scan` decodes blocks lazily in order.
-//! A tiny block cache emulates the paper's hot-cache setting and counts
-//! block reads so experiments can report I/O.
+//! via the sparse keys and, on format v2, the per-block footers) and
+//! whose `scan` decodes blocks lazily in order.
+//!
+//! Decoded blocks live in a shared, thread-safe [`BlockCache`]
+//! (see [`crate::cache`]): by default an unbounded one per store — the
+//! paper's hot-cache regime — but [`DiskColumnStore::open_with_cache`]
+//! lets several stores and all `Parallelism` workers share one bounded
+//! LRU.  The store itself is `Sync`: the file handle sits behind a
+//! mutex and the decode counter is atomic, so parallel executors can
+//! probe one store from many workers without duplicating decodes.
 
+use crate::cache::{Block, BlockCache, CacheStats, ShardedLruCache};
 use crate::codec::{try_read_varint, Scheme};
-use crate::disk::ByteReader;
 use crate::columnar::Run;
-use std::cell::RefCell;
+use crate::disk::{ByteReader, MAGIC_V1, MAGIC_V2};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 fn bad(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("corrupt index file: {what}"))
+}
+
+/// Recovers from mutex poisoning: the guarded state (a file handle / the
+/// cache maps) stays internally consistent between operations, and the
+/// panic that poisoned it has already been propagated by the pool.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Format-v2 per-block footers for one column.
+#[derive(Debug, Clone)]
+struct Footers {
+    /// `row_prefix[b]` = number of present rows in blocks `0..b`; one
+    /// extra entry at the end holding the column total.
+    row_prefix: Vec<u32>,
+    /// Largest value stored in each block (`first` is in the directory).
+    lasts: Vec<u32>,
 }
 
 /// Byte span plus metadata for one column inside the index file.
 #[derive(Debug, Clone)]
 struct ColumnMeta {
     scheme: Scheme,
-    /// `(file offset, first value, first present-row ordinal)` per block.
-    blocks: Vec<(u64, u32, u32)>,
+    /// `(file offset, first value)` per block.
+    blocks: Vec<(u64, u32)>,
     /// One past the last payload byte of the column.
     end: u64,
     /// Rows present at this level (global row ids), needed to reconstruct
     /// run coordinates.  Kept in memory: 4 bytes per present row, the same
     /// information the lengths array encodes.
     present_rows: Vec<u32>,
+    /// Present on format v2; `None` forces the legacy prefix-decode path.
+    footers: Option<Footers>,
 }
 
 /// Per-term metadata in the store.
@@ -46,21 +77,32 @@ struct TermMeta {
     columns: Vec<ColumnMeta>,
 }
 
-/// A read-only, block-granular view of a columnar index file.
+/// Distinguishes stores sharing one cache (see `block_key`).
+static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A read-only, block-granular, thread-safe view of a columnar index file.
 #[derive(Debug)]
 pub struct DiskColumnStore {
-    file: RefCell<File>,
+    file: Mutex<File>,
     terms: HashMap<String, TermMeta>,
-    cache: RefCell<HashMap<(u64, u32), Vec<Run>>>,
-    /// Number of block decodes that missed the cache.
-    pub block_reads: RefCell<u64>,
+    cache: Arc<dyn BlockCache>,
+    /// Cache-missing block decodes performed by this store.
+    decodes: AtomicU64,
+    /// Disambiguates cache keys when several stores share one cache.
+    store_id: u64,
 }
 
 impl DiskColumnStore {
-    /// Opens an index file written by [`crate::disk::write_index`],
-    /// reading only the per-term directory (lengths arrays and block
-    /// tables), not the column payloads.
+    /// Opens an index file with a private unbounded cache — the paper's
+    /// hot-cache regime, where every block decodes at most once.
     pub fn open(path: &Path) -> io::Result<Self> {
+        Self::open_with_cache(path, Arc::new(ShardedLruCache::unbounded()))
+    }
+
+    /// Opens an index file backed by the given block cache.  Pass the same
+    /// `Arc` to several stores (or executors) to share one bounded budget;
+    /// keys never collide across stores.
+    pub fn open_with_cache(path: &Path, cache: Arc<dyn BlockCache>) -> io::Result<Self> {
         // The format is sequential, so one pass builds the directory; the
         // payload bytes are skipped over.  All reads are bounds-checked so
         // corrupt files fail with InvalidData instead of panicking.
@@ -68,9 +110,11 @@ impl DiskColumnStore {
         File::open(path)?.read_to_end(&mut bytes)?;
         let mut r = ByteReader::new(&bytes);
         let magic = r.varint("magic")?;
-        if magic != 0x58544B01 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
-        }
+        let v2 = match magic {
+            MAGIC_V1 => false,
+            MAGIC_V2 => true,
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic")),
+        };
         let n_terms = r.varint("term count")? as usize;
         let with_scores = r.byte("score flag")? != 0;
         let mut terms = HashMap::new();
@@ -111,10 +155,19 @@ impl DiskColumnStore {
                 rel.try_reserve(n_blocks.min(1 << 22)).map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "block count too large")
                 })?;
+                let mut rows = Vec::new();
+                let mut lasts = Vec::new();
                 for _ in 0..n_blocks {
                     let off = r.varint("block offset")?;
                     let first = r.varint("block first value")?;
                     rel.push((off, first));
+                    if v2 {
+                        rows.push(r.varint("block row count")?);
+                        let span = r.varint("block last-value delta")?;
+                        lasts.push(
+                            first.checked_add(span).ok_or_else(|| bad("block last overflow"))?,
+                        );
+                    }
                 }
                 let payload_len = r.varint("payload length")? as usize;
                 let payload_base = r.offset() as u64;
@@ -134,22 +187,43 @@ impl DiskColumnStore {
                     .filter(|(_, &d)| d >= level)
                     .map(|(i, _)| i as u32)
                     .collect();
-                let blocks: Vec<(u64, u32, u32)> =
-                    rel.iter().map(|&(off, first)| (payload_base + off as u64, first, 0)).collect();
+                let footers = if v2 {
+                    // Prefix-sum the row counts; reject footers that
+                    // disagree with the lengths array so a corrupt
+                    // directory cannot misplace rows silently.
+                    let mut row_prefix = Vec::with_capacity(rows.len() + 1);
+                    let mut acc = 0u64;
+                    row_prefix.push(0);
+                    for &n in &rows {
+                        acc += n as u64;
+                        if acc > present_rows.len() as u64 {
+                            return Err(bad("block row counts exceed lengths array"));
+                        }
+                        row_prefix.push(acc as u32);
+                    }
+                    if acc != present_rows.len() as u64 {
+                        return Err(bad("block row counts disagree with lengths array"));
+                    }
+                    Some(Footers { row_prefix, lasts })
+                } else {
+                    None
+                };
                 columns.push(ColumnMeta {
                     scheme,
-                    blocks,
+                    blocks: rel.iter().map(|&(off, first)| (payload_base + off as u64, first)).collect(),
                     end: payload_base + payload_len as u64,
                     present_rows,
+                    footers,
                 });
             }
             terms.insert(term, TermMeta { columns });
         }
         Ok(Self {
-            file: RefCell::new(File::open(path)?),
+            file: Mutex::new(File::open(path)?),
             terms,
-            cache: RefCell::new(HashMap::new()),
-            block_reads: RefCell::new(0),
+            cache,
+            decodes: AtomicU64::new(0),
+            store_id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -170,41 +244,64 @@ impl DiskColumnStore {
     pub fn column(&self, term: &str, level: u16) -> Option<DiskColumn<'_>> {
         let meta = self.terms.get(term)?;
         let idx = level.checked_sub(1)? as usize;
-        if idx >= meta.columns.len() {
-            return None;
-        }
-        Some(DiskColumn { store: self, meta: &meta.columns[idx] })
+        let meta = meta.columns.get(idx)?;
+        Some(DiskColumn { store: self, meta })
     }
 
-    /// Total cache-missing block decodes so far.
+    /// Total cache-missing block decodes performed by this store.
     pub fn reads(&self) -> u64 {
-        *self.block_reads.borrow()
+        self.decodes.load(Ordering::Relaxed)
     }
 
-    /// Decodes the runs of one block (cache-aware).  The row coordinates
-    /// require knowing how many present rows precede the block, which is
-    /// reconstructed by decoding preceding blocks once (they then sit in
-    /// the cache); `row_base` carries that prefix count.
-    fn decode_block(&self, meta: &ColumnMeta, b: usize, row_base: u32) -> io::Result<Vec<Run>> {
-        let Some(&(start, _, _)) = meta.blocks.get(b) else {
+    /// Counters of the backing block cache (shared counters when the
+    /// cache is shared).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The backing cache, for sharing with further stores.
+    pub fn shared_cache(&self) -> Arc<dyn BlockCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Cache key for the block starting at file offset `start`: offsets
+    /// identify blocks within a file, the store id separates files.
+    fn block_key(&self, start: u64) -> u64 {
+        (self.store_id << 48) ^ start
+    }
+
+    /// Decodes the runs of one block (cache-aware).  `row_base` is the
+    /// number of present rows in all preceding blocks of the column; the
+    /// caller obtains it in O(1) from the v2 footers or by decoding the
+    /// prefix on v1 files.
+    ///
+    /// The file mutex is held across read + decode + insert, so
+    /// concurrent workers missing on the same block decode it exactly
+    /// once — `reads()` stays deterministic under an unbounded cache no
+    /// matter the worker count.
+    fn decode_block(&self, meta: &ColumnMeta, b: usize, row_base: u32) -> io::Result<Block> {
+        let Some(&(start, _)) = meta.blocks.get(b) else {
             return Err(bad("block index out of range"));
         };
-        let key = (start, row_base);
-        if let Some(runs) = self.cache.borrow().get(&key) {
-            return Ok(runs.clone());
+        let key = self.block_key(start);
+        if let Some(runs) = self.cache.get(key) {
+            return Ok(runs);
         }
-        *self.block_reads.borrow_mut() += 1;
+        let mut f = relock(&self.file);
+        // Double-check: another worker may have decoded this block while
+        // we waited for the file lock.
+        if let Some(runs) = self.cache.get(key) {
+            return Ok(runs);
+        }
+        self.decodes.fetch_add(1, Ordering::Relaxed);
         let end = match meta.blocks.get(b + 1) {
-            Some(&(next, _, _)) => next,
+            Some(&(next, _)) => next,
             None => meta.end,
         };
         let len = end.checked_sub(start).ok_or_else(|| bad("block offsets not ascending"))?;
         let mut buf = vec![0u8; len as usize];
-        {
-            let mut f = self.file.borrow_mut();
-            f.seek(SeekFrom::Start(start))?;
-            f.read_exact(&mut buf)?;
-        }
+        f.seek(SeekFrom::Start(start))?;
+        f.read_exact(&mut buf)?;
         let mut pos = 4usize;
         let mut prev = match buf.first_chunk::<4>() {
             Some(le) => u32::from_le_bytes(*le),
@@ -253,8 +350,9 @@ impl DiskColumnStore {
                 }
             }
         }
-        self.cache.borrow_mut().insert(key, runs.clone());
-        Ok(runs)
+        let block: Block = runs.into();
+        self.cache.insert(key, Arc::clone(&block));
+        Ok(block)
     }
 }
 
@@ -282,35 +380,50 @@ impl DiskColumn<'_> {
         let mut row_base = 0u32;
         for b in 0..self.meta.blocks.len() {
             let runs = self.store.decode_block(self.meta, b, row_base)?;
-            row_base += runs.iter().map(|r| r.len).sum::<u32>();
-            out.extend(runs);
+            row_base = row_base
+                .checked_add(runs.iter().map(|r| r.len).sum::<u32>())
+                .ok_or_else(|| bad("row count overflow"))?;
+            out.extend_from_slice(&runs);
         }
         Ok(out)
     }
 
-    /// Finds the run for a JDewey `value`, decoding only the block the
-    /// sparse keys select — the index-join access pattern.
+    /// Finds the run for a JDewey `value`, decoding **at most one block**
+    /// — the index-join access pattern.
     ///
-    /// Note: locating the block is `O(log blocks)` on the in-memory sparse
-    /// keys; exact row coordinates need the present-row prefix count, so
-    /// preceding blocks of *this* column are decoded on first touch and
-    /// cached (matching the paper's hot-cache regime, where a column
-    /// touched by a query is quickly memory-resident).
+    /// On format v2 the block's row prefix comes from the footers in
+    /// O(1), and a probe outside the block's `[first, last]` value range
+    /// returns `None` without decoding anything.  On v1 files the row
+    /// prefix requires decoding the preceding blocks of this column once
+    /// (they then sit in the cache) — the legacy behaviour kept for
+    /// compatibility and as the bench ablation baseline.
     pub fn find(&self, value: u32) -> io::Result<Option<Run>> {
-        let idx = self.meta.blocks.partition_point(|&(_, first, _)| first <= value);
+        let idx = self.meta.blocks.partition_point(|&(_, first)| first <= value);
         let Some(b) = idx.checked_sub(1) else {
             return Ok(None);
         };
-        // Row prefix: decode preceding blocks (cached after first touch).
-        let mut row_base = 0u32;
-        for p in 0..b {
-            row_base += self
-                .store
-                .decode_block(self.meta, p, row_base)?
-                .iter()
-                .map(|r| r.len)
-                .sum::<u32>();
-        }
+        let row_base = match &self.meta.footers {
+            Some(f) => {
+                // Definite miss: the probe is beyond the block's last
+                // value (and below the next block's first) — skip the
+                // decode outright.
+                if f.lasts.get(b).is_some_and(|&last| value > last) {
+                    return Ok(None);
+                }
+                *f.row_prefix.get(b).ok_or_else(|| bad("footer prefix out of range"))?
+            }
+            None => {
+                // v1: decode preceding blocks (cached after first touch).
+                let mut row_base = 0u32;
+                for p in 0..b {
+                    let prefix = self.store.decode_block(self.meta, p, row_base)?;
+                    row_base = row_base
+                        .checked_add(prefix.iter().map(|r| r.len).sum::<u32>())
+                        .ok_or_else(|| bad("row count overflow"))?;
+                }
+                row_base
+            }
+        };
         let runs = self.store.decode_block(self.meta, b, row_base)?;
         let found = runs
             .binary_search_by_key(&value, |r| r.value)
@@ -325,61 +438,220 @@ impl DiskColumn<'_> {
 mod tests {
     use super::*;
     use crate::builder::XmlIndex;
-    use crate::disk::{write_index, WriteIndexOptions};
+    use crate::cache::CacheCapacity;
+    use crate::disk::{write_index, FormatVersion, WriteIndexOptions};
     use xtk_xml::parse;
 
-    fn store() -> (XmlIndex, DiskColumnStore, std::path::PathBuf) {
+    fn corpus() -> XmlIndex {
         let mut xml = String::from("<r>");
         for i in 0..500 {
             xml.push_str(&format!("<p><t>w{} shared</t></p>", i % 37));
         }
         xml.push_str("</r>");
-        let ix = XmlIndex::build(parse(&xml).unwrap());
-        let path = std::env::temp_dir().join(format!("xtk_diskcol_{}.bin", std::process::id()));
-        write_index(&ix, &path, WriteIndexOptions { include_scores: true }).unwrap();
+        XmlIndex::build(parse(&xml).unwrap())
+    }
+
+    fn store_v(tag: &str, format: FormatVersion) -> (XmlIndex, DiskColumnStore, std::path::PathBuf) {
+        let ix = corpus();
+        let path = std::env::temp_dir()
+            .join(format!("xtk_diskcol_{tag}_{}.bin", std::process::id()));
+        write_index(&ix, &path, WriteIndexOptions { include_scores: true, format }).unwrap();
         let store = DiskColumnStore::open(&path).unwrap();
         (ix, store, path)
     }
 
+    fn store(tag: &str) -> (XmlIndex, DiskColumnStore, std::path::PathBuf) {
+        store_v(tag, FormatVersion::V2)
+    }
+
+    #[test]
+    fn store_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<DiskColumnStore>();
+    }
+
     #[test]
     fn scan_matches_in_memory_columns() {
-        let (ix, store, path) = store();
-        for (_, term) in ix.terms() {
-            for (li, col) in term.columns.iter().enumerate() {
-                let dc = store.column(&term.term, (li + 1) as u16).unwrap();
-                assert_eq!(dc.scan().unwrap(), col.runs, "term {} level {}", term.term, li + 1);
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            let (ix, store, path) = store_v("scan", format);
+            for (_, term) in ix.terms() {
+                for (li, col) in term.columns.iter().enumerate() {
+                    let dc = store.column(&term.term, (li + 1) as u16).unwrap();
+                    assert_eq!(
+                        dc.scan().unwrap(),
+                        col.runs,
+                        "term {} level {} {format:?}",
+                        term.term,
+                        li + 1
+                    );
+                }
             }
+            std::fs::remove_file(path).ok();
         }
-        std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn find_matches_in_memory_find() {
-        let (ix, store, path) = store();
-        let term = ix.term_by_str("shared").unwrap();
-        let dc = store.column("shared", 3).unwrap();
-        for run in &term.columns[2].runs {
-            assert_eq!(dc.find(run.value).unwrap(), Some(*run));
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            let (ix, store, path) = store_v("find", format);
+            let term = ix.term_by_str("shared").unwrap();
+            let dc = store.column("shared", 3).unwrap();
+            for run in &term.columns[2].runs {
+                assert_eq!(dc.find(run.value).unwrap(), Some(*run), "{format:?}");
+            }
+            assert_eq!(dc.find(999_999).unwrap(), None);
+            std::fs::remove_file(path).ok();
         }
-        assert_eq!(dc.find(999_999).unwrap(), None);
-        std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn block_reads_are_counted_and_cached() {
-        let (_ix, store, path) = store();
+        let (_ix, store, path) = store("counted");
         let dc = store.column("shared", 3).unwrap();
         dc.scan().unwrap();
         let first = store.reads();
         assert!(first >= 1);
         dc.scan().unwrap();
         assert_eq!(store.reads(), first, "second scan served from cache");
+        let stats = store.cache_stats();
+        assert!(stats.hits >= first, "{stats:?}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cold_find_decodes_at_most_one_block() {
+        // The satellite regression: a v2 probe must not decode the
+        // preceding blocks of the column to locate its row prefix.
+        let mut xml = String::from("<r>");
+        for i in 0..6000 {
+            xml.push_str(&format!("<p><t>dense x{i}</t></p>"));
+        }
+        xml.push_str("</r>");
+        let ix = XmlIndex::build(parse(&xml).unwrap());
+        let path = std::env::temp_dir()
+            .join(format!("xtk_diskcol_cold_{}.bin", std::process::id()));
+        write_index(&ix, &path, WriteIndexOptions::default()).unwrap();
+
+        let store = DiskColumnStore::open(&path).unwrap();
+        let dc = store.column("dense", 2).unwrap();
+        assert!(dc.block_count() > 1, "corpus must span several blocks");
+        // Probe a value that lives in the LAST block of a cold store.
+        let target = ix.term_by_str("dense").unwrap().columns[1].runs.last().unwrap().value;
+        assert!(dc.find(target).unwrap().is_some());
+        assert_eq!(store.reads(), 1, "cold probe decodes exactly one block");
+        // A probe beyond every stored value decodes nothing: the footers
+        // prove the last block cannot contain it.
+        let reads = store.reads();
+        assert_eq!(dc.find(target + 1).unwrap(), None);
+        assert_eq!(store.reads(), reads, "out-of-range probe is free");
+
+        // The v1 ablation: same probe decodes the whole prefix.
+        let path1 = std::env::temp_dir()
+            .join(format!("xtk_diskcol_cold_v1_{}.bin", std::process::id()));
+        write_index(
+            &ix,
+            &path1,
+            WriteIndexOptions { include_scores: false, format: FormatVersion::V1 },
+        )
+        .unwrap();
+        let store1 = DiskColumnStore::open(&path1).unwrap();
+        let dc1 = store1.column("dense", 2).unwrap();
+        assert!(dc1.find(target).unwrap().is_some());
+        assert_eq!(
+            store1.reads(),
+            dc1.block_count() as u64,
+            "v1 pays the whole prefix for a last-block probe"
+        );
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(path1).ok();
+    }
+
+    #[test]
+    fn value_gap_probe_skips_decode() {
+        // A probe that falls between a block's last value and the next
+        // block's first value must return None with zero decodes.
+        let mut xml = String::from("<r>");
+        for i in 0..6000 {
+            // Even node numbers only, so odd probes can miss.
+            xml.push_str(&format!("<p><t>gap g{i}</t></p>"));
+        }
+        xml.push_str("</r>");
+        let ix = XmlIndex::build(parse(&xml).unwrap());
+        let path = std::env::temp_dir()
+            .join(format!("xtk_diskcol_gap_{}.bin", std::process::id()));
+        write_index(&ix, &path, WriteIndexOptions::default()).unwrap();
+        let store = DiskColumnStore::open(&path).unwrap();
+        // Level 1 of "gap" is a single highly-duplicated run; use the
+        // leaf level, where block boundaries leave value gaps.
+        let levels = store.levels_of("gap");
+        let dc = store.column("gap", levels).unwrap();
+        let col = &ix.term_by_str("gap").unwrap().columns[levels as usize - 1];
+        // Find a value absent from the column.
+        let absent = (0..u32::MAX).find(|v| col.find(*v).is_none()).unwrap();
+        let before = store.reads();
+        let r = dc.find(absent).unwrap();
+        assert_eq!(r, None);
+        // Either skipped via footers (0 decodes) or decoded exactly one
+        // block (when the absent value falls inside a block's range).
+        assert!(store.reads() - before <= 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shared_cache_and_parallel_probes_decode_once() {
+        let (ix, _unused, path) = store("parprobe");
+        let cache: Arc<dyn BlockCache> = Arc::new(ShardedLruCache::new(CacheCapacity::Unbounded));
+        let store = DiskColumnStore::open_with_cache(&path, Arc::clone(&cache)).unwrap();
+        let term = ix.term_by_str("shared").unwrap();
+        let values: Vec<u32> = term.columns[2].runs.iter().map(|r| r.value).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let store = &store;
+                let values = &values;
+                s.spawn(move || {
+                    let dc = store.column("shared", 3).unwrap();
+                    for &v in values {
+                        assert!(dc.find(v).unwrap().is_some());
+                    }
+                });
+            }
+        });
+        let dc = store.column("shared", 3).unwrap();
+        assert!(
+            store.reads() <= dc.block_count() as u64,
+            "4 workers probing every value decode each block at most once: {} reads, {} blocks",
+            store.reads(),
+            dc.block_count()
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bounded_cache_still_returns_exact_results() {
+        let (ix, _unused, path) = store("bounded");
+        for cache in [
+            Arc::new(ShardedLruCache::with_block_capacity(1)) as Arc<dyn BlockCache>,
+            Arc::new(ShardedLruCache::with_byte_capacity(1 << 14)) as Arc<dyn BlockCache>,
+        ] {
+            let store = DiskColumnStore::open_with_cache(&path, cache).unwrap();
+            for (_, term) in ix.terms() {
+                for (li, col) in term.columns.iter().enumerate() {
+                    let dc = store.column(&term.term, (li + 1) as u16).unwrap();
+                    assert_eq!(dc.scan().unwrap(), col.runs);
+                    for run in col.runs.iter().take(8) {
+                        assert_eq!(dc.find(run.value).unwrap(), Some(*run));
+                    }
+                }
+            }
+            let stats = store.cache_stats();
+            assert!(stats.evictions > 0, "tiny cache must evict: {stats:?}");
+        }
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn missing_term_or_level() {
-        let (_ix, store, path) = store();
+        let (_ix, store, path) = store("missing");
         assert!(store.column("zzz_nope", 1).is_none());
         assert!(store.column("shared", 99).is_none());
         assert_eq!(store.levels_of("zzz_nope"), 0);

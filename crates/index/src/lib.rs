@@ -25,6 +25,7 @@
 
 pub mod btree;
 pub mod builder;
+pub mod cache;
 pub mod codec;
 pub mod columnar;
 pub mod disk;

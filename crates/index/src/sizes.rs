@@ -18,9 +18,31 @@
 
 use crate::btree::{composite_key, dewey_key_bytes, emulate_size};
 use crate::builder::XmlIndex;
-use crate::codec::{choose_scheme, encode_column, write_varint};
+use crate::codec::{choose_scheme, encode_column, varint_len, write_varint, CompressedColumn};
 use crate::sparse::SPARSE_ENTRY_BYTES;
 use std::fmt;
+
+/// Exact on-disk bytes of one column record in the current (v2) format:
+/// scheme byte, block count, per-block directory entries
+/// `(offset, first value, row count, last − first)` as varints, payload
+/// length, payload.  Mirrors the private `encode_term_record` in
+/// [`crate::disk`]; the `column_accounting_matches_actual_file_length`
+/// test keeps the two from drifting.
+fn column_record_bytes(cc: &CompressedColumn) -> u64 {
+    let mut bytes = 1 + varint_len(cc.block_offsets.len() as u32);
+    for b in 0..cc.block_offsets.len() {
+        let off = cc.block_offsets.get(b).copied().unwrap_or(0);
+        let first = cc.block_first_values.get(b).copied().unwrap_or(0);
+        let rows = cc.block_rows.get(b).copied().unwrap_or(0);
+        let last = cc.block_last_values.get(b).copied().unwrap_or(first);
+        bytes += varint_len(off)
+            + varint_len(first)
+            + varint_len(rows)
+            + varint_len(last.saturating_sub(first));
+    }
+    bytes += varint_len(cc.payload_bytes() as u32) + cc.payload_bytes();
+    bytes as u64
+}
 
 /// Byte sizes of the five physical indexes (Table I).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,14 +84,16 @@ pub fn compute(ix: &XmlIndex) -> IndexSizes {
         // --- join-based columnar lists ---
         let mut join = vocab_entry;
         scratch.clear();
+        write_varint(n as u32, &mut scratch); // posting-count prefix
         for &node in &term.postings {
             write_varint(ix.tree().depth(node) as u32, &mut scratch);
         }
         join += scratch.len() as u64; // lengths array
+        join += varint_len(term.columns.len() as u32) as u64;
         let mut sparse_blocks = 0u64;
         for col in &term.columns {
             let cc = encode_column(col, choose_scheme(col));
-            join += cc.payload_bytes() as u64 + 2; // scheme byte + block count-ish header
+            join += column_record_bytes(&cc);
             sparse_blocks += cc.block_count() as u64;
         }
         s.join_il += join;
@@ -201,6 +225,71 @@ mod tests {
             s.join_il
         );
         assert!(s.rdil_il + s.rdil_btree > s.topk_il + s.topk_sparse);
+    }
+
+    #[test]
+    fn column_accounting_matches_actual_file_length() {
+        // Rebuild the full v2 file size out of the same primitives Table I
+        // uses.  If `column_record_bytes` ever drifts from the writer,
+        // this stops matching the real file.
+        use crate::disk::{
+            persisted_file_bytes, write_index, FormatVersion, WriteIndexOptions, MAGIC_V2,
+        };
+        let ix = small_index();
+        let opts =
+            WriteIndexOptions { include_scores: false, format: FormatVersion::V2 };
+        let mut model =
+            (varint_len(MAGIC_V2) + varint_len(ix.vocab_size() as u32) + 1) as u64;
+        for (_, term) in ix.terms() {
+            model += varint_len(term.term.len() as u32) as u64 + term.term.len() as u64;
+            model += varint_len(term.postings.len() as u32) as u64;
+            for &node in &term.postings {
+                model += varint_len(ix.tree().depth(node) as u32) as u64;
+            }
+            model += varint_len(term.columns.len() as u32) as u64;
+            for col in &term.columns {
+                model += column_record_bytes(&encode_column(col, choose_scheme(col)));
+            }
+        }
+        assert_eq!(model, persisted_file_bytes(&ix, opts));
+        let path = std::env::temp_dir()
+            .join(format!("xtk_sizes_exact_{}.bin", std::process::id()));
+        let written = write_index(&ix, &path, opts).unwrap();
+        assert_eq!(model, written);
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn footers_are_counted() {
+        // The v2 directory footers must show up in the join accounting:
+        // every block contributes at least two extra varint bytes over a
+        // footer-free model.
+        let ix = small_index();
+        let s = compute(&ix);
+        let mut footer_free = 0u64;
+        let mut blocks = 0u64;
+        for (_, term) in ix.terms() {
+            for col in &term.columns {
+                let cc = encode_column(col, choose_scheme(col));
+                let mut b = 1 + varint_len(cc.block_offsets.len() as u32);
+                for i in 0..cc.block_offsets.len() {
+                    b += varint_len(cc.block_offsets.get(i).copied().unwrap_or(0));
+                    b += varint_len(cc.block_first_values.get(i).copied().unwrap_or(0));
+                }
+                b += varint_len(cc.payload_bytes() as u32) + cc.payload_bytes();
+                footer_free += b as u64;
+                blocks += cc.block_count() as u64;
+            }
+        }
+        let mut with_footers = 0u64;
+        for (_, term) in ix.terms() {
+            for col in &term.columns {
+                with_footers += column_record_bytes(&encode_column(col, choose_scheme(col)));
+            }
+        }
+        assert!(with_footers >= footer_free + 2 * blocks, "footers must be accounted");
+        assert!(s.join_il > with_footers, "join IL includes vocab + lengths on top");
     }
 
     #[test]

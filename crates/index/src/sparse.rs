@@ -16,6 +16,10 @@ pub struct SparseIndex {
     /// First value of each block, in block order (sorted, since the column
     /// is sorted).
     firsts: Vec<u32>,
+    /// Last value of each block (format-v2 footers); empty for columns
+    /// encoded without footers.  With `firsts` this brackets each block's
+    /// value range, letting probes prove a miss without a decode.
+    lasts: Vec<u32>,
 }
 
 /// On-disk bytes per sparse entry: u32 first-value + u32 block offset.
@@ -24,7 +28,7 @@ pub const SPARSE_ENTRY_BYTES: usize = 8;
 impl SparseIndex {
     /// Builds the sparse index for a compressed column.
     pub fn build(cc: &CompressedColumn) -> Self {
-        Self { firsts: cc.block_first_values.clone() }
+        Self { firsts: cc.block_first_values.clone(), lasts: cc.block_last_values.clone() }
     }
 
     /// The block that could contain `value` (the last block whose first
@@ -33,6 +37,18 @@ impl SparseIndex {
     pub fn block_for(&self, value: u32) -> Option<usize> {
         let idx = self.firsts.partition_point(|&f| f <= value);
         idx.checked_sub(1)
+    }
+
+    /// Like [`block_for`](Self::block_for), but also `None` when the
+    /// candidate block's `[first, last]` range provably excludes `value`
+    /// (the footer-powered definite miss — no decode needed at all).
+    /// Falls back to `block_for` when the column has no footers.
+    pub fn block_for_probe(&self, value: u32) -> Option<usize> {
+        let b = self.block_for(value)?;
+        match self.lasts.get(b) {
+            Some(&last) if value > last => None,
+            _ => Some(b),
+        }
     }
 
     /// Number of entries (== number of blocks).
@@ -77,6 +93,25 @@ mod tests {
         }
         // Beyond the last value: still the last block.
         assert_eq!(sx.block_for(u32::MAX), Some(sx.len() - 1));
+    }
+
+    #[test]
+    fn probe_uses_footers_for_definite_misses() {
+        // Values 0, 2, 4, ... — every odd probe misses.
+        let runs: Vec<Run> =
+            (0..30_000).map(|i| Run { value: i * 2, start: i, len: 1 }).collect();
+        let cc = encode_column(&Column { runs }, Scheme::Delta);
+        let sx = SparseIndex::build(&cc);
+        // Present values are always found.
+        assert_eq!(sx.block_for_probe(0), Some(0));
+        let b = sx.block_for_probe(31_110).unwrap();
+        assert_eq!(sx.block_for(31_110), Some(b));
+        // Beyond the last stored value: the footer proves the miss.
+        assert_eq!(sx.block_for_probe(u32::MAX), None);
+        assert_eq!(sx.block_for_probe(2 * 30_000), None);
+        // Odd values *inside* a block's range still return the candidate
+        // (the footer brackets the range, it does not enumerate values).
+        assert_eq!(sx.block_for_probe(31_111), Some(b));
     }
 
     #[test]

@@ -18,7 +18,7 @@ fn valid_index_bytes() -> Vec<u8> {
     xml.push_str("</r>");
     let ix = XmlIndex::build(parse(&xml).unwrap());
     let path = std::env::temp_dir().join(format!("xtk_corrupt_base_{}.bin", std::process::id()));
-    write_index(&ix, &path, WriteIndexOptions { include_scores: true }).unwrap();
+    write_index(&ix, &path, WriteIndexOptions { include_scores: true, ..Default::default() }).unwrap();
     let bytes = std::fs::read(&path).unwrap();
     std::fs::remove_file(&path).ok();
     bytes

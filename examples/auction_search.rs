@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Persist the columnar index and load it back.
     let path = std::env::temp_dir().join("xtk_auction_index.bin");
-    let bytes = write_index(engine.index(), &path, WriteIndexOptions { include_scores: true })?;
+    let bytes = write_index(engine.index(), &path, WriteIndexOptions { include_scores: true, ..Default::default() })?;
     println!("\nwrote columnar index: {} ({} bytes)", path.display(), bytes);
     let loaded = read_index(&path)?;
     let vintage = engine.index().term_by_str("vintage").expect("planted");

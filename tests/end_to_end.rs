@@ -129,7 +129,7 @@ fn hybrid_routes_and_matches_topk_scores() {
 fn persistence_roundtrip_on_generated_corpus() {
     let engine = corpus_engine();
     let path = std::env::temp_dir().join(format!("xtk_e2e_{}.bin", std::process::id()));
-    write_index(engine.index(), &path, WriteIndexOptions { include_scores: true }).unwrap();
+    write_index(engine.index(), &path, WriteIndexOptions { include_scores: true, ..Default::default() }).unwrap();
     let loaded = read_index(&path).unwrap();
     assert_eq!(loaded.terms.len(), engine.index().vocab_size());
     for term in ["planted1", "planted2", "planted3"] {
