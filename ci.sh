@@ -27,6 +27,14 @@ echo "== bench smoke: query-path I/O trajectory vs committed baseline"
 # intentional change with:  query_io --check BENCH_query.json --update
 cargo run -q --offline --release -p xtk-bench --bin query_io -- --check BENCH_query.json
 
+echo "== bench smoke: unified metrics snapshot vs committed golden (exact match)"
+# Every counter in the snapshot is a logical count (no wall-clock), so
+# the comparison is byte-for-byte.  The run also asserts two cold passes
+# produce identical metrics and the per-store decode==miss invariant.
+# Refresh after an intentional change with:
+#   metrics_snapshot --check BENCH_metrics.json --update
+cargo run -q --offline --release -p xtk-bench --bin metrics_snapshot -- --check BENCH_metrics.json
+
 if [ "${XTK_SKIP_CLIPPY:-0}" = "1" ]; then
     echo "== clippy skipped (XTK_SKIP_CLIPPY=1)"
 elif cargo clippy --version >/dev/null 2>&1; then

@@ -21,14 +21,15 @@
 //! blocks of the long list).
 
 use crate::eraser::Eraser;
-use crate::joinbased::{apply_match, JoinOptions, JoinStats};
-use crate::pool::{chunk_ranges, parallel_map};
+use crate::joinbased::{apply_match, publish_join_stats, JoinOptions, JoinStats};
+use crate::pool::{chunk_ranges, parallel_map, phase_chunks};
 use crate::query::Query;
 use crate::result::ScoredResult;
 use std::io;
 use xtk_index::columnar::{gallop_lower_bound, Run};
 use xtk_index::diskcol::DiskColumnStore;
 use xtk_index::{TermData, XmlIndex};
+use xtk_obs::{EventKind, JoinStrategy, Obs};
 
 /// Below this many intermediate values the per-level join loops run
 /// serially; above it they chunk across the pool (the store and its block
@@ -49,7 +50,27 @@ pub fn join_search_disk(
     query: &Query,
     opts: &JoinOptions,
 ) -> io::Result<(Vec<ScoredResult>, JoinStats, u64)> {
-    let reads_before = store.reads();
+    join_search_disk_obs(ix, store, query, opts, &Obs::default())
+}
+
+/// [`join_search_disk`] with observability: join counters flush into
+/// `obs.metrics` under the same `join.*` names as the in-memory executor,
+/// the per-query I/O delta is published under `store.*`, and a live
+/// tracer records the level/step structure plus one `store_io` event.
+///
+/// Events come from the sequential driver loop only.  Decode counts are
+/// parallelism-invariant under the store's default unbounded cache
+/// (decode-once); with a small bounded shared cache eviction timing can
+/// legitimately vary them, which is why the trace-determinism gate runs
+/// against the unbounded regime.
+pub fn join_search_disk_obs(
+    ix: &XmlIndex,
+    store: &DiskColumnStore,
+    query: &Query,
+    opts: &JoinOptions,
+    obs: &Obs,
+) -> io::Result<(Vec<ScoredResult>, JoinStats, u64)> {
+    let io_before = store.io_stats();
     let mut stats = JoinStats::default();
     let terms: Vec<&TermData> = query.terms.iter().map(|&t| ix.term(t)).collect();
     let k = terms.len();
@@ -58,11 +79,15 @@ pub fn join_search_disk(
         return Ok((Vec::new(), stats, 0));
     }
     let l0 = terms.iter().map(|t| store.levels_of(&t.term)).min().unwrap_or(0);
+    obs.event(EventKind::QueryStart { keywords: k as u32, start_level: l0 as u32 });
+    let term_of = |i: usize| query.terms.get(i).map(|t| t.0).unwrap_or(u32::MAX);
     let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
     let mut results = Vec::new();
 
     for l in (1..=l0).rev() {
         stats.levels += 1;
+        let matches_before = stats.matches;
+        let results_before = stats.results;
         // `l <= l0 <= levels_of(term)` for every term, so each lookup
         // succeeds; the guard only defends against an inconsistent store.
         let cols: Vec<_> =
@@ -81,6 +106,11 @@ pub fn join_search_disk(
 
         // Drive with a scan of the smallest column.
         let driver_runs = driver.scan()?;
+        obs.event(EventKind::LevelStart {
+            level: l as u32,
+            driver_term: term_of(first_kw),
+            driver_runs: driver_runs.len() as u64,
+        });
         // Matched values with per-keyword runs, keyword-indexed.
         let mut matched: Vec<(u32, Vec<Run>)> = driver_runs
             .iter()
@@ -103,6 +133,11 @@ pub fn join_search_disk(
             let use_index = matched.len() * 16 < col.row_count();
             let parallel =
                 opts.parallelism.workers() > 1 && matched.len() >= PAR_PROBE_MIN;
+            let input_values = matched.len();
+            // The disk merge path always gallops over the scanned runs, so
+            // the recorded strategy is binary: probe-by-key or gallop.
+            let strategy =
+                if use_index { JoinStrategy::IndexProbe } else { JoinStrategy::Gallop };
             if use_index {
                 stats.index_joins += 1;
                 if parallel {
@@ -112,7 +147,9 @@ pub fn join_search_disk(
                     // outputs concatenate in range order, preserving
                     // the serial ascending-value order bit for bit.
                     let ranges =
-                        chunk_ranges(matched.len(), opts.parallelism.workers() * 4);
+                        chunk_ranges(matched.len(), phase_chunks(opts.parallelism));
+                    obs.metrics.add("pool.probe_phases", 1);
+                    obs.metrics.add("pool.probe_tasks", ranges.len() as u64);
                     let parts = parallel_map(opts.parallelism, &ranges, |_, r| {
                         let chunk = matched.get(r.clone()).unwrap_or(&[]);
                         let mut out = Vec::with_capacity(chunk.len());
@@ -149,7 +186,9 @@ pub fn join_search_disk(
                 let runs = col.scan()?;
                 if parallel {
                     let ranges =
-                        chunk_ranges(matched.len(), opts.parallelism.workers() * 4);
+                        chunk_ranges(matched.len(), phase_chunks(opts.parallelism));
+                    obs.metrics.add("pool.probe_phases", 1);
+                    obs.metrics.add("pool.probe_tasks", ranges.len() as u64);
                     let parts = parallel_map(opts.parallelism, &ranges, |_, r| {
                         let chunk = matched.get(r.clone()).unwrap_or(&[]);
                         let mut out = Vec::with_capacity(chunk.len());
@@ -190,6 +229,14 @@ pub fn join_search_disk(
                     });
                 }
             }
+            obs.event(EventKind::JoinStep {
+                level: l as u32,
+                term: term_of(i),
+                column_runs: col.row_count() as u64,
+                input_values: input_values as u64,
+                output_values: matched.len() as u64,
+                strategy,
+            });
         }
 
         for (v, runs) in matched {
@@ -198,8 +245,18 @@ pub fn join_search_disk(
                 stats.results += 1;
             }
         }
+        obs.event(EventKind::LevelEnd {
+            level: l as u32,
+            matches: stats.matches - matches_before,
+            results: stats.results - results_before,
+        });
     }
-    Ok((results, stats, store.reads() - reads_before))
+    let io = store.io_stats().since(&io_before);
+    obs.event(EventKind::StoreIo { store: store.store_id() as u32, decodes: io.decodes });
+    obs.event(EventKind::QueryEnd { results: stats.results });
+    publish_join_stats(&stats, obs);
+    io.publish(&obs.metrics);
+    Ok((results, stats, io.decodes))
 }
 
 #[cfg(test)]

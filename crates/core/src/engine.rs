@@ -26,16 +26,16 @@ pub enum Algorithm {
 /// The entry point: an indexed XML document plus the query engines.
 ///
 /// ```
-/// use xtk_core::{Engine, Semantics};
+/// use xtk_core::{Engine, QueryRequest, Semantics};
 ///
 /// let engine = Engine::from_xml(
 ///     "<bib><paper><title>xml keyword search</title></paper>\
 ///      <paper><title>top k ranking</title><abs>keyword</abs></paper></bib>",
 /// ).unwrap();
 /// let q = engine.query("keyword ranking").unwrap();
-/// let hits = engine.top_k(&q, 3, Semantics::Elca);
-/// assert_eq!(hits.len(), 1);
-/// assert_eq!(engine.tree().label(hits[0].node), "paper");
+/// let resp = engine.run(&q, &QueryRequest::top_k(3, Semantics::Elca));
+/// assert_eq!(resp.results.len(), 1);
+/// assert_eq!(engine.tree().label(resp.results[0].node), "paper");
 /// ```
 #[derive(Debug)]
 pub struct Engine {
@@ -99,6 +99,10 @@ impl Engine {
     }
 
     /// Complete result set, ranked by score (join-based engine).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::run with QueryRequest::complete(semantics)"
+    )]
     pub fn search(&self, query: &Query, semantics: Semantics) -> Vec<ScoredResult> {
         let (mut rs, _) = join_search(
             &self.ix,
@@ -116,6 +120,10 @@ impl Engine {
 
     /// Complete result set without scores, by any engine — for comparisons
     /// and benchmarks.  Results are in each engine's natural order.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::run with QueryRequest::complete(semantics).unranked().with_algorithm(..)"
+    )]
     pub fn search_unranked(
         &self,
         query: &Query,
@@ -139,6 +147,10 @@ impl Engine {
     }
 
     /// Top-K via the join-based top-K star join (§IV).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::run with QueryRequest::top_k(k, semantics).with_algorithm(QueryAlgorithm::TopKJoin)"
+    )]
     pub fn top_k(&self, query: &Query, k: usize, semantics: Semantics) -> Vec<ScoredResult> {
         topk_search(
             &self.ix,
@@ -149,6 +161,10 @@ impl Engine {
     }
 
     /// Top-K via the §V-D hybrid planner; also reports the engine chosen.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::run with QueryRequest::top_k(k, semantics); QueryResponse::engine reports the pick"
+    )]
     pub fn top_k_auto(
         &self,
         query: &Query,
@@ -159,11 +175,19 @@ impl Engine {
     }
 
     /// Top-K via the RDIL baseline (formal ELCA variant).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::run with QueryRequest::top_k(k, semantics).with_algorithm(QueryAlgorithm::Rdil)"
+    )]
     pub fn top_k_rdil(&self, query: &Query, k: usize, semantics: Semantics) -> Vec<ScoredResult> {
         rdil_search(&self.ix, query, &RdilOptions { k, semantics }).0
     }
 
     /// Join-based run returning the execution counters, for tooling.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::run; QueryResponse::metrics carries the join.* counters"
+    )]
     pub fn search_with_stats(
         &self,
         query: &Query,
@@ -179,6 +203,10 @@ impl Engine {
     }
 
     /// Top-K run returning the execution counters, for tooling.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::run; QueryResponse::metrics carries the topk.* counters"
+    )]
     pub fn top_k_with_stats(
         &self,
         query: &Query,
@@ -232,11 +260,13 @@ mod tests {
                        <author>bob</author></paper></conf>\
                        <conf><paper><title>xml top k</title></paper></conf></bib>";
 
+    use crate::request::{QueryAlgorithm, QueryRequest};
+
     #[test]
     fn end_to_end_search() {
         let e = Engine::from_xml(DOC).unwrap();
         let q = e.query("xml keyword").unwrap();
-        let rs = e.search(&q, Semantics::Elca);
+        let rs = e.run(&q, &QueryRequest::complete(Semantics::Elca)).results;
         assert_eq!(rs.len(), 1);
         assert_eq!(e.tree().label(rs[0].node), "title");
         let desc = e.describe(&rs[0]);
@@ -248,18 +278,19 @@ mod tests {
     fn all_complete_engines_agree_on_slca() {
         let e = Engine::from_xml(DOC).unwrap();
         let q = e.query("xml top").unwrap();
-        let mut sets: Vec<Vec<_>> = ALL_ALGORITHMS
-            .iter()
-            .map(|&a| {
-                let mut v: Vec<_> = e
-                    .search_unranked(&q, Semantics::Slca, a)
-                    .into_iter()
-                    .map(|r| r.node)
-                    .collect();
-                v.sort();
-                v
-            })
-            .collect();
+        let mut sets: Vec<Vec<_>> = [
+            QueryAlgorithm::JoinBased,
+            QueryAlgorithm::StackBased,
+            QueryAlgorithm::IndexBased,
+        ]
+        .iter()
+        .map(|&a| {
+            let req = QueryRequest::complete(Semantics::Slca).unranked().with_algorithm(a);
+            let mut v: Vec<_> = e.run(&q, &req).results.into_iter().map(|r| r.node).collect();
+            v.sort();
+            v
+        })
+        .collect();
         let first = sets.remove(0);
         for s in sets {
             assert_eq!(s, first);
@@ -271,9 +302,10 @@ mod tests {
     fn topk_variants_run() {
         let e = Engine::from_xml(DOC).unwrap();
         let q = e.query("top k").unwrap();
-        let a = e.top_k(&q, 2, Semantics::Elca);
-        let (b, _) = e.top_k_auto(&q, 2, Semantics::Elca);
-        let c = e.top_k_rdil(&q, 2, Semantics::Elca);
+        let base = QueryRequest::top_k(2, Semantics::Elca);
+        let a = e.run(&q, &base.with_algorithm(QueryAlgorithm::TopKJoin)).results;
+        let b = e.run(&q, &base).results;
+        let c = e.run(&q, &base.with_algorithm(QueryAlgorithm::Rdil)).results;
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 2);
         assert_eq!(c.len(), 2);

@@ -7,17 +7,18 @@
 //! intermediate cardinality that drove it, and the matches/results after
 //! the semantic pruning.
 //!
-//! The report executes the query for real (the dynamic optimization's
-//! choices depend on actual intermediate sizes), so the counters are the
-//! true ones, not estimates.
+//! The report is rendered from the **recorded trace** of a real execution
+//! of [`join_search_obs`](crate::joinbased::join_search_obs) — not from a
+//! re-simulation of the planner — so every cardinality and every
+//! merge/gallop/index decision shown is exactly what the engine did.  The
+//! raw event log is also available through [`explain_trace`] for the
+//! `--trace` report.
 
-use crate::eraser::Eraser;
-use crate::joinbased::{apply_match, JoinOptions, JoinPlan};
+use crate::joinbased::{join_search_obs, JoinOptions};
 use crate::query::Query;
-use crate::result::ScoredResult;
 use std::fmt;
-use xtk_index::columnar::{Column, Run};
-use xtk_index::{TermData, XmlIndex};
+use xtk_index::XmlIndex;
+use xtk_obs::{EventKind, JoinStrategy, MetricsRegistry, Obs, Trace, TraceLevel, Tracer};
 
 /// One join step inside a level.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,8 +29,10 @@ pub struct JoinStep {
     pub column_runs: usize,
     /// Intermediate cardinality entering the step.
     pub input_values: usize,
-    /// `true` = index join, `false` = merge join.
+    /// `true` = index join, `false` = merge or galloping join.
     pub index_join: bool,
+    /// The recorded strategy name: `"merge"`, `"gallop"` or `"index"`.
+    pub strategy: &'static str,
     /// Cardinality after the step.
     pub output_values: usize,
 }
@@ -76,12 +79,8 @@ impl fmt::Display for PlanReport {
             for s in &lp.steps {
                 writeln!(
                     f,
-                    "  {} {} ({} runs): {} -> {} values",
-                    if s.index_join { "index-join" } else { "merge-join" },
-                    s.term,
-                    s.column_runs,
-                    s.input_values,
-                    s.output_values
+                    "  {}-join {} ({} runs): {} -> {} values",
+                    s.strategy, s.term, s.column_runs, s.input_values, s.output_values
                 )?;
             }
             writeln!(f, "  matched {} -> emitted {}", lp.matches, lp.results)?;
@@ -90,96 +89,107 @@ impl fmt::Display for PlanReport {
     }
 }
 
-/// Executes the query while recording the plan (see module docs).
-pub fn explain(ix: &XmlIndex, query: &Query, opts: &JoinOptions) -> PlanReport {
-    let terms: Vec<&TermData> = query.terms.iter().map(|&t| ix.term(t)).collect();
-    let k = terms.len();
-    let keywords: Vec<(String, usize)> =
-        terms.iter().map(|t| (t.term.to_string(), t.len())).collect();
-    if terms.iter().any(|t| t.is_empty()) {
-        return PlanReport { keywords, start_level: 0, levels: Vec::new() };
-    }
-    let l0 = terms.iter().map(|t| t.max_len()).min().unwrap_or(0);
-    let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
-    let mut results: Vec<ScoredResult> = Vec::new();
-    let mut levels = Vec::new();
-
-    for l in (1..=l0).rev() {
-        let cols: Vec<&Column> = terms
-            .iter()
-            .filter_map(|t| (l as usize).checked_sub(1).and_then(|i| t.columns.get(i)))
-            .collect();
-        if cols.len() != k {
-            continue; // unreachable: every list reaches level l <= l0
-        }
-        let mut order: Vec<usize> = (0..k).collect();
-        order.sort_by_key(|&i| cols.get(i).map_or(usize::MAX, |c| c.runs.len()));
-        let (Some(d_term), Some(d_col)) = (
-            order.first().and_then(|&i| terms.get(i)),
-            order.first().and_then(|&i| cols.get(i)),
-        ) else {
-            continue;
+impl PlanReport {
+    /// Rebuilds a plan report from the event log of one query execution.
+    ///
+    /// `ix` and `query` supply the term-id → keyword-text mapping and the
+    /// posting-list lengths; everything else comes from the events.
+    pub fn from_trace(ix: &XmlIndex, query: &Query, trace: &Trace) -> PlanReport {
+        let name_of = |id: u32| -> String {
+            query
+                .terms
+                .iter()
+                .find(|t| t.0 == id)
+                .map(|&t| ix.term(t).term.to_string())
+                .unwrap_or_else(|| format!("term#{id}"))
         };
-        let driver = (d_term.term.to_string(), d_col.runs.len());
-
-        let mut values: Vec<u32> = d_col.runs.iter().map(|r| r.value).collect();
-        let mut steps = Vec::new();
-        for &i in order.get(1..).unwrap_or(&[]) {
-            let Some(col) = cols.get(i) else { continue };
-            let input_values = values.len();
-            let use_index = match opts.plan {
-                JoinPlan::MergeOnly => false,
-                JoinPlan::IndexOnly => true,
-                JoinPlan::Dynamic => {
-                    let probes =
-                        values.len() as u64 * (col.runs.len().max(2).ilog2() as u64 + 1);
-                    probes * 4 < (values.len() + col.runs.len()) as u64
-                }
-            };
-            if use_index {
-                values.retain(|&v| col.find(v).is_some());
-            } else {
-                let mut out = Vec::new();
-                let mut j = 0;
-                for &v in &values {
-                    while col.runs.get(j).is_some_and(|r| r.value < v) {
-                        j += 1;
+        let keywords: Vec<(String, usize)> = query
+            .terms
+            .iter()
+            .map(|&t| {
+                let td = ix.term(t);
+                (td.term.to_string(), td.len())
+            })
+            .collect();
+        let mut start_level = 0u16;
+        let mut levels = Vec::new();
+        let mut cur: Option<LevelPlan> = None;
+        for ev in &trace.events {
+            match &ev.kind {
+                EventKind::QueryStart { start_level: l, .. } => start_level = *l as u16,
+                EventKind::LevelStart { level, driver_term, driver_runs } => {
+                    if let Some(lp) = cur.take() {
+                        levels.push(lp);
                     }
-                    match col.runs.get(j) {
-                        None => break,
-                        Some(r) if r.value == v => out.push(v),
-                        Some(_) => {}
+                    cur = Some(LevelPlan {
+                        level: *level as u16,
+                        driver: (name_of(*driver_term), *driver_runs as usize),
+                        steps: Vec::new(),
+                        matches: 0,
+                        results: 0,
+                    });
+                }
+                EventKind::JoinStep {
+                    term,
+                    column_runs,
+                    input_values,
+                    output_values,
+                    strategy,
+                    ..
+                } => {
+                    if let Some(lp) = cur.as_mut() {
+                        lp.steps.push(JoinStep {
+                            term: name_of(*term),
+                            column_runs: *column_runs as usize,
+                            input_values: *input_values as usize,
+                            index_join: matches!(strategy, JoinStrategy::IndexProbe),
+                            strategy: strategy.as_str(),
+                            output_values: *output_values as usize,
+                        });
                     }
                 }
-                values = out;
+                EventKind::LevelEnd { matches, results, .. } => {
+                    if let Some(mut lp) = cur.take() {
+                        lp.matches = *matches as usize;
+                        lp.results = *results as usize;
+                        levels.push(lp);
+                    }
+                }
+                _ => {}
             }
-            steps.push(JoinStep {
-                term: terms.get(i).map(|t| t.term.to_string()).unwrap_or_default(),
-                column_runs: col.runs.len(),
-                input_values,
-                index_join: use_index,
-                output_values: values.len(),
-            });
         }
-
-        let matches = values.len();
-        let before = results.len();
-        for v in values {
-            let runs: Vec<Run> = cols.iter().filter_map(|c| c.find(v).copied()).collect();
-            if runs.len() != cols.len() {
-                continue; // unreachable: v survived every join step
-            }
-            apply_match(ix, &terms, &mut erasers, &runs, l, v, opts, &mut results);
+        if let Some(lp) = cur.take() {
+            levels.push(lp);
         }
-        levels.push(LevelPlan {
-            level: l,
-            driver,
-            steps,
-            matches,
-            results: results.len() - before,
-        });
+        PlanReport { keywords, start_level, levels }
     }
-    PlanReport { keywords, start_level: l0, levels }
+}
+
+/// Executes the query for real with a live tracer and renders the plan
+/// from the recorded events (see module docs).
+pub fn explain(ix: &XmlIndex, query: &Query, opts: &JoinOptions) -> PlanReport {
+    explain_trace(ix, query, opts).0
+}
+
+/// [`explain`] plus the raw event log the report was rendered from.
+///
+/// The trace is bit-identical across [`Parallelism`] settings, so the
+/// report (and the `--trace` dump) is stable however the query ran.
+///
+/// [`Parallelism`]: crate::pool::Parallelism
+pub fn explain_trace(
+    ix: &XmlIndex,
+    query: &Query,
+    opts: &JoinOptions,
+) -> (PlanReport, Trace) {
+    let obs = Obs {
+        metrics: MetricsRegistry::new(),
+        tracer: Tracer::for_level(TraceLevel::Events),
+    };
+    let _ = join_search_obs(ix, query, opts, &obs);
+    let trace = obs.tracer.finish().unwrap_or_default();
+    let report = PlanReport::from_trace(ix, query, &trace);
+    (report, trace)
 }
 
 #[cfg(test)]
@@ -236,6 +246,7 @@ mod tests {
         // At the leaf-most level the driver has 1 run vs 81: index join.
         let leaf = &report.levels[0];
         assert!(leaf.steps[0].index_join, "{report}");
+        assert_eq!(leaf.steps[0].strategy, "index");
     }
 
     #[test]
@@ -254,5 +265,29 @@ mod tests {
         let q = Query::from_words(&ix, &["solo"]).unwrap();
         let report = explain(&ix, &q, &JoinOptions::default());
         assert_eq!(report.levels.len(), 1);
+    }
+
+    #[test]
+    fn report_is_identical_across_parallelism() {
+        use crate::pool::Parallelism;
+        let (ix, q) = setup();
+        let serial = JoinOptions::default();
+        let auto = JoinOptions { parallelism: Parallelism::Auto, ..serial };
+        let (r1, t1) = explain_trace(&ix, &q, &serial);
+        let (r2, t2) = explain_trace(&ix, &q, &auto);
+        assert_eq!(r1, r2);
+        assert_eq!(t1, t2, "trace must be bit-identical across parallelism");
+    }
+
+    #[test]
+    fn trace_events_cover_the_report() {
+        let (ix, q) = setup();
+        let (report, trace) = explain_trace(&ix, &q, &JoinOptions::default());
+        assert_eq!(trace.of_kind("level_start").len(), report.levels.len());
+        assert_eq!(
+            trace.of_kind("join_step").len(),
+            report.levels.iter().map(|l| l.steps.len()).sum::<usize>()
+        );
+        assert_eq!(trace.of_kind("query_end").len(), 1);
     }
 }

@@ -13,12 +13,13 @@
 //! [`topk_search`](crate::topk::topk_search) or to the complete
 //! [`join_search`](crate::joinbased::join_search) + sort.
 
-use crate::joinbased::{join_search, JoinOptions};
+use crate::joinbased::{join_search_obs, JoinOptions};
 use crate::pool::Parallelism;
 use crate::query::{ElcaVariant, Query, Semantics};
 use crate::result::{sort_ranked, ScoredResult};
-use crate::topk::{topk_search, TopKOptions};
+use crate::topk::{topk_search_obs, TopKOptions};
 use xtk_index::{TermData, XmlIndex};
+use xtk_obs::Obs;
 
 /// Which engine the planner picked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,18 +112,37 @@ pub fn hybrid_topk_with(
     semantics: Semantics,
     parallelism: Parallelism,
 ) -> (Vec<ScoredResult>, PlannedEngine) {
+    hybrid_topk_obs(ix, query, k, semantics, parallelism, &Obs::default())
+}
+
+/// [`hybrid_topk_with`] with observability: the routing decision and the
+/// (integer-floored) cardinality estimate land in `obs.metrics` under
+/// `hybrid.*`, and the chosen engine runs with the same `obs`, so its
+/// join/top-K counters and trace events flow into the one registry.
+pub fn hybrid_topk_obs(
+    ix: &XmlIndex,
+    query: &Query,
+    k: usize,
+    semantics: Semantics,
+    parallelism: Parallelism,
+    obs: &Obs,
+) -> (Vec<ScoredResult>, PlannedEngine) {
     let est = estimate_result_cardinality(ix, query);
+    obs.metrics.add("hybrid.estimated_results", est as u64);
     // The top-K join pays off when it can stop well before exhausting the
     // lists — require an estimated result population comfortably above K.
     if est >= 4.0 * k as f64 {
-        let (rs, _) = topk_search(
+        obs.metrics.add("hybrid.route_topk", 1);
+        let (rs, _) = topk_search_obs(
             ix,
             query,
             &TopKOptions { k, semantics, parallelism, ..Default::default() },
+            obs,
         );
         (rs, PlannedEngine::TopKJoin)
     } else {
-        let (mut rs, _) = join_search(
+        obs.metrics.add("hybrid.route_complete", 1);
+        let (mut rs, _) = join_search_obs(
             ix,
             query,
             &JoinOptions {
@@ -132,6 +152,7 @@ pub fn hybrid_topk_with(
                 parallelism,
                 ..Default::default()
             },
+            obs,
         );
         sort_ranked(&mut rs);
         rs.truncate(k);
@@ -142,6 +163,8 @@ pub fn hybrid_topk_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::joinbased::join_search;
+    use crate::topk::topk_search;
     use xtk_xml::parse;
 
     fn corpus(correlated: bool) -> String {

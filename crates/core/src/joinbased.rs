@@ -36,11 +36,12 @@
 //!   emission order and the erasure state evolution exactly serial.
 
 use crate::eraser::Eraser;
-use crate::pool::{chunk_ranges, parallel_map, Parallelism};
+use crate::pool::{chunk_ranges, parallel_map, phase_chunks, Parallelism};
 use crate::query::{ElcaVariant, Query, Semantics};
 use crate::result::ScoredResult;
 use xtk_index::columnar::{gallop_lower_bound, Column, Run};
-use xtk_index::{TermData, XmlIndex};
+use xtk_index::{TermData, TermId, XmlIndex};
+use xtk_obs::{EventKind, JoinStrategy, Obs};
 
 /// Below this many matched values a level is evaluated serially — the
 /// scoped-spawn overhead would dominate.
@@ -120,6 +121,23 @@ pub fn join_search(
     query: &Query,
     opts: &JoinOptions,
 ) -> (Vec<ScoredResult>, JoinStats) {
+    join_search_obs(ix, query, opts, &Obs::default())
+}
+
+/// [`join_search`] with observability: counters flush into
+/// `obs.metrics` under the `join.*` names and, when the tracer is live,
+/// the per-level join structure is recorded as events.
+///
+/// Events are only emitted from the sequential driver loop, and the
+/// recorded join strategy is the one decided over the *full* probe list
+/// (exactly the serial executor's decision), so the event sequence is
+/// bit-identical across `Parallelism` settings.
+pub fn join_search_obs(
+    ix: &XmlIndex,
+    query: &Query,
+    opts: &JoinOptions,
+    obs: &Obs,
+) -> (Vec<ScoredResult>, JoinStats) {
     let mut stats = JoinStats::default();
     let terms: Vec<&TermData> = query.terms.iter().map(|&t| ix.term(t)).collect();
     let k = terms.len();
@@ -129,12 +147,15 @@ pub fn join_search(
     }
     // No result can sit below the shallowest list's deepest level.
     let l0 = terms.iter().map(|t| t.max_len()).min().unwrap_or(0);
+    obs.event(EventKind::QueryStart { keywords: k as u32, start_level: l0 as u32 });
     let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
     let mut results = Vec::new();
 
     let workers = opts.parallelism.workers();
     for l in (1..=l0).rev() {
         stats.levels += 1;
+        let matches_before = stats.matches;
+        let results_before = stats.results;
         let cols: Vec<&Column> = terms
             .iter()
             .filter_map(|t| (l as usize).checked_sub(1).and_then(|i| t.columns.get(i)))
@@ -142,8 +163,11 @@ pub fn join_search(
         if cols.len() != k {
             continue; // unreachable: every list reaches level l <= l0
         }
-        let values = joined_values(&cols, opts.plan, opts.parallelism, &mut stats);
+        let values =
+            joined_values_obs(&cols, &query.terms, l, opts.plan, opts.parallelism, &mut stats, obs);
         if workers > 1 && values.len() >= PAR_MATCH_MIN {
+            obs.metrics.add("pool.match_phases", 1);
+            obs.metrics.add("pool.match_items", values.len() as u64);
             // Same-level runs of distinct values are disjoint, so the
             // range checks and scores computed against the level-entry
             // erasure state equal what the serial value-order loop sees.
@@ -180,8 +204,24 @@ pub fn join_search(
                 }
             }
         }
+        obs.event(EventKind::LevelEnd {
+            level: l as u32,
+            matches: stats.matches - matches_before,
+            results: stats.results - results_before,
+        });
     }
+    obs.event(EventKind::QueryEnd { results: stats.results });
+    publish_join_stats(&stats, obs);
     (results, stats)
+}
+
+/// Flushes a [`JoinStats`] into the unified registry under `join.*`.
+pub(crate) fn publish_join_stats(stats: &JoinStats, obs: &Obs) {
+    obs.metrics.add("join.levels", stats.levels as u64);
+    obs.metrics.add("join.merge_joins", stats.merge_joins as u64);
+    obs.metrics.add("join.index_joins", stats.index_joins as u64);
+    obs.metrics.add("join.matches", stats.matches);
+    obs.metrics.add("join.results", stats.results);
 }
 
 /// The per-match semantic pruning + emission of Algorithm 1, shared with
@@ -280,16 +320,31 @@ fn commit_match(
 /// Intersects the `k` columns on JDewey number, returning matched values in
 /// increasing order.  Left-deep from the smallest column; each step picks
 /// merge or index join per `plan`.
-fn joined_values(
+///
+/// `term_ids` labels `cols` positionally for the trace.  The recorded
+/// [`JoinStrategy`] of a step is always the decision over the full probe
+/// list — identical to what the serial executor runs; a parallel chunk may
+/// locally fall back to the merge walk without changing results, and that
+/// divergence is by design invisible to the trace.
+fn joined_values_obs(
     cols: &[&Column],
+    term_ids: &[TermId],
+    level: u16,
     plan: JoinPlan,
     par: Parallelism,
     stats: &mut JoinStats,
+    obs: &Obs,
 ) -> Vec<u32> {
     let mut order: Vec<usize> = (0..cols.len()).collect();
     order.sort_by_key(|&i| cols[i].runs.len());
+    let term_of = |i: usize| term_ids.get(i).map(|t| t.0).unwrap_or(u32::MAX);
 
     let first = cols[order[0]];
+    obs.event(EventKind::LevelStart {
+        level: level as u32,
+        driver_term: order.first().map(|&i| term_of(i)).unwrap_or(u32::MAX),
+        driver_runs: first.runs.len() as u64,
+    });
     let mut values: Vec<u32> = first.runs.iter().map(|r| r.value).collect();
     for &i in &order[1..] {
         if values.is_empty() {
@@ -307,11 +362,21 @@ fn joined_values(
                 probes * 4 < (values.len() + col.runs.len()) as u64
             }
         };
+        let strategy = if use_index {
+            JoinStrategy::IndexProbe
+        } else if col.runs.len() >= GALLOP_RATIO * values.len().max(1) {
+            JoinStrategy::Gallop
+        } else {
+            JoinStrategy::Merge
+        };
+        let input_values = values.len() as u64;
         if par.workers() > 1 && values.len() >= PAR_JOIN_MIN {
             // Partition the probe list; each range intersects on its own
             // worker and the per-range outputs concatenate in range order,
             // preserving the ascending value order of the serial join.
-            let ranges = chunk_ranges(values.len(), par.workers() * 4);
+            let ranges = chunk_ranges(values.len(), phase_chunks(par));
+            obs.metrics.add("pool.join_phases", 1);
+            obs.metrics.add("pool.join_tasks", ranges.len() as u64);
             if use_index {
                 stats.index_joins += 1;
             } else {
@@ -349,6 +414,14 @@ fn joined_values(
             stats.merge_joins += 1;
             values = intersect(&values, col);
         }
+        obs.event(EventKind::JoinStep {
+            level: level as u32,
+            term: term_of(i),
+            column_runs: col.runs.len() as u64,
+            input_values,
+            output_values: values.len() as u64,
+            strategy,
+        });
     }
     values
 }

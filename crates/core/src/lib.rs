@@ -38,6 +38,11 @@
 //! * [`hybrid`] — the §V-D planner prototype choosing between the complete
 //!   join and the top-K join from a run-overlap cardinality estimate.
 //! * [`engine`] — a high-level façade over all of the above.
+//! * [`request`] — the unified [`QueryRequest`] → [`QueryResponse`] API:
+//!   one entry point ([`Engine::run`] / the [`Executor`] trait) for every
+//!   backend, semantics and algorithm, returning results plus the unified
+//!   metrics snapshot and, on request, the deterministic execution trace
+//!   recorded by `xtk-obs`.
 
 pub mod baseline;
 pub mod diskexec;
@@ -48,6 +53,7 @@ pub mod hybrid;
 pub mod joinbased;
 pub mod pool;
 pub mod query;
+pub mod request;
 pub mod result;
 pub mod semantics;
 pub mod starjoin;
@@ -57,5 +63,10 @@ pub mod verify;
 pub use engine::Engine;
 pub use pool::Parallelism;
 pub use query::{ElcaVariant, Query, Semantics};
+pub use request::{
+    DiskEngine, ExecutedEngine, Executor, QueryAlgorithm, QueryRequest, QueryResponse,
+    ScoreMode,
+};
 pub use result::ScoredResult;
 pub use topk::{TopKOptions, TopKStream};
+pub use xtk_obs::{MetricsSnapshot, Trace, TraceLevel};

@@ -7,3 +7,13 @@
 //! under the name the engine documentation uses.
 
 pub use xtk_xml::pool::{chunk_ranges, parallel_map, Parallelism};
+
+/// Chunks per worker for a parallel phase: enough slack for work stealing
+/// to even out skewed ranges without drowning in per-task overhead.
+pub const CHUNKS_PER_WORKER: usize = 4;
+
+/// Number of chunks the engine splits a parallel phase into at this
+/// `Parallelism` — the task count the `pool.*_tasks` metrics report.
+pub fn phase_chunks(par: Parallelism) -> usize {
+    par.workers() * CHUNKS_PER_WORKER
+}

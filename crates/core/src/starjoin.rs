@@ -51,6 +51,28 @@ struct Entry {
     sum: f32,
 }
 
+/// Cumulative insert-path counters of a [`Bucket`], for the unified
+/// metrics registry.  Maintained by the sequential retrieval driver, so
+/// the values are identical for every `Parallelism` setting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BucketStats {
+    /// Tuples fed to [`Bucket::insert`].
+    pub inserts: u64,
+    /// Tuples ignored because the keyword bit was already set.
+    pub duplicates: u64,
+    /// Partial results that completed (seen in all `k` relations).
+    pub completions: u64,
+}
+
+impl BucketStats {
+    /// Flushes the counters into `metrics` under `starjoin.*`.
+    pub fn publish(&self, metrics: &xtk_obs::MetricsRegistry) {
+        metrics.add("starjoin.inserts", self.inserts);
+        metrics.add("starjoin.duplicates", self.duplicates);
+        metrics.add("starjoin.completions", self.completions);
+    }
+}
+
 /// The star-join hash bucket with per-subset group maxima.
 #[derive(Debug)]
 pub struct Bucket {
@@ -67,6 +89,7 @@ pub struct Bucket {
     /// — and keeps the iteration order deterministic (never the hash
     /// map's).
     mask_order: Vec<u32>,
+    stats: BucketStats,
 }
 
 impl Bucket {
@@ -78,7 +101,13 @@ impl Bucket {
             entries: HashMap::new(),
             groups: HashMap::new(),
             mask_order: Vec::new(),
+            stats: BucketStats::default(),
         }
+    }
+
+    /// Insert-path counters accumulated since construction.
+    pub fn stats(&self) -> BucketStats {
+        self.stats
     }
 
     /// Number of partial results currently in the bucket.
@@ -100,9 +129,11 @@ impl Bucket {
     /// per-keyword maximum the ranking function wants.
     pub fn insert(&mut self, value: u32, kw: usize, damped: f32) -> Option<Completed> {
         debug_assert!(kw < self.k);
+        self.stats.inserts += 1;
         let bit = 1u32 << kw;
         let entry = self.entries.entry(value).or_insert(Entry { mask: 0, sum: 0.0 });
         if entry.mask & bit != 0 {
+            self.stats.duplicates += 1;
             return None;
         }
         entry.mask |= bit;
@@ -110,6 +141,7 @@ impl Bucket {
         if entry.mask == self.full {
             let sum = entry.sum;
             self.entries.remove(&value);
+            self.stats.completions += 1;
             return Some(Completed { value, score: sum });
         }
         let (mask, sum) = (entry.mask, entry.sum);

@@ -46,6 +46,7 @@ use crate::starjoin::{Bucket, F32Ord};
 use std::collections::{BinaryHeap, VecDeque};
 use xtk_index::score::Damping;
 use xtk_index::{TermData, XmlIndex};
+use xtk_obs::{EventKind, Obs};
 
 /// Rows drained per keyword per refill.
 const BATCH: usize = 64;
@@ -228,9 +229,35 @@ pub fn topk_search(
     query: &Query,
     opts: &TopKOptions,
 ) -> (Vec<ScoredResult>, TopKStats) {
-    let mut stream = TopKStream::new(ix, query, opts);
+    topk_search_obs(ix, query, opts, &Obs::default())
+}
+
+/// [`topk_search`] with observability: counters flush into `obs.metrics`
+/// under the `topk.*` names; with a live tracer the column progression,
+/// threshold drops and emissions are recorded as events.  The stream is
+/// sequential apart from the pure batch refills, so the event sequence is
+/// bit-identical across `Parallelism` settings.
+pub fn topk_search_obs(
+    ix: &XmlIndex,
+    query: &Query,
+    opts: &TopKOptions,
+    obs: &Obs,
+) -> (Vec<ScoredResult>, TopKStats) {
+    let mut stream = TopKStream::new_obs(ix, query, opts, obs.clone());
     let results: Vec<ScoredResult> = stream.by_ref().take(opts.k).collect();
-    (results, stream.stats())
+    obs.event(EventKind::QueryEnd { results: results.len() as u64 });
+    let stats = stream.stats();
+    publish_topk_stats(&stats, obs);
+    stream.bucket.stats().publish(&obs.metrics);
+    (results, stats)
+}
+
+/// Flushes a [`TopKStats`] into the unified registry under `topk.*`.
+pub(crate) fn publish_topk_stats(stats: &TopKStats, obs: &Obs) {
+    obs.metrics.add("topk.rows_retrieved", stats.rows_retrieved);
+    obs.metrics.add("topk.columns", stats.columns as u64);
+    obs.metrics.add("topk.candidates", stats.candidates);
+    obs.metrics.add("topk.emitted_early", stats.emitted_early);
 }
 
 /// Resumable top-K execution: an [`Iterator`] yielding results in valid
@@ -268,11 +295,21 @@ pub struct TopKStream<'a> {
     /// restarts near the previous hit (reset on column change).
     find_hints: Vec<usize>,
     emitted: usize,
+    obs: Obs,
+    /// Bits of the last threshold recorded to the tracer, so
+    /// `topk_threshold` events fire only on change.
+    last_threshold_bits: Option<u32>,
 }
 
 impl<'a> TopKStream<'a> {
     /// Prepares a stream; no work happens until the first `next()`.
     pub fn new(ix: &'a XmlIndex, query: &Query, opts: &TopKOptions) -> Self {
+        Self::new_obs(ix, query, opts, Obs::default())
+    }
+
+    /// [`TopKStream::new`] with an observability bundle the stream records
+    /// into as it advances.
+    pub fn new_obs(ix: &'a XmlIndex, query: &Query, opts: &TopKOptions, obs: Obs) -> Self {
         let terms: Vec<&TermData> = query.terms.iter().map(|&t| ix.term(t)).collect();
         let k = terms.len();
         let empty = terms.iter().any(|t| t.is_empty());
@@ -300,9 +337,14 @@ impl<'a> TopKStream<'a> {
             s_max_col: vec![0.0; k],
             find_hints: vec![0; k],
             emitted: 0,
+            obs,
+            last_threshold_bits: None,
             terms,
         };
         if stream.level > 0 {
+            stream
+                .obs
+                .event(EventKind::QueryStart { keywords: k as u32, start_level: l0 as u32 });
             stream.enter_column();
         }
         stream
@@ -320,6 +362,16 @@ impl<'a> TopKStream<'a> {
 
     fn enter_column(&mut self) {
         self.stats.columns += 1;
+        let runs: u64 = self
+            .terms
+            .iter()
+            .filter_map(|t| (self.level as usize).checked_sub(1).and_then(|i| t.columns.get(i)))
+            .map(|c| c.runs.len() as u64)
+            .sum();
+        self.obs.event(EventKind::TopKColumn { level: self.level as u32, runs });
+        // The bucket restarts per column; fold the outgoing one's counters
+        // into the registry so `starjoin.*` totals span the whole query.
+        self.bucket.stats().publish(&self.obs.metrics);
         self.bucket = Bucket::new(self.terms.len());
         self.rr = 0;
         for ((c, b), x) in
@@ -360,6 +412,8 @@ impl<'a> TopKStream<'a> {
             };
             let drained: Vec<Drained> =
                 if self.parallelism.workers() > 1 && needy.len() > 1 {
+                    self.obs.metrics.add("pool.refill_phases", 1);
+                    self.obs.metrics.add("pool.refill_tasks", needy.len() as u64);
                     parallel_map(self.parallelism, &needy, |_, &i| refill(i))
                 } else {
                     needy.iter().map(|&i| refill(i)).collect()
@@ -520,7 +574,15 @@ impl Iterator for TopKStream<'_> {
                 // Every column processed: flush by score.
                 let (F32Ord(score), level, value) = self.pending.pop()?;
                 match self.emit(score, level, value) {
-                    Some(r) => return Some(r),
+                    Some(r) => {
+                        self.obs.event(EventKind::TopKEmit {
+                            value,
+                            level: level as u32,
+                            score_bits: score.to_bits(),
+                            early: false,
+                        });
+                        return Some(r);
+                    }
                     None => continue,
                 }
             }
@@ -538,11 +600,25 @@ impl Iterator for TopKStream<'_> {
                 continue;
             }
             let threshold = self.threshold();
+            if self.obs.tracer.enabled() && self.last_threshold_bits != Some(threshold.to_bits())
+            {
+                self.last_threshold_bits = Some(threshold.to_bits());
+                self.obs.event(EventKind::TopKThreshold {
+                    level: self.level as u32,
+                    threshold_bits: threshold.to_bits(),
+                });
+            }
             if let Some(&(F32Ord(score), level, value)) = self.pending.peek() {
                 if score >= threshold {
                     self.pending.pop();
                     if let Some(r) = self.emit(score, level, value) {
                         self.stats.emitted_early += 1;
+                        self.obs.event(EventKind::TopKEmit {
+                            value,
+                            level: level as u32,
+                            score_bits: score.to_bits(),
+                            early: true,
+                        });
                         return Some(r);
                     }
                 }

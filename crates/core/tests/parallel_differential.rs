@@ -200,23 +200,29 @@ fn engine_facade_is_parallelism_invariant() {
         xml.push_str(&format!("<p><t>alpha beta</t><u>gamma{}</u></p>", i % 7));
     }
     xml.push_str("</r>");
+    use xtk_core::request::{QueryAlgorithm, QueryRequest};
+    let complete = QueryRequest::complete(Semantics::Elca);
+    let topk_req = QueryRequest::top_k(7, Semantics::Elca).with_algorithm(QueryAlgorithm::TopKJoin);
+    let auto_req = QueryRequest::top_k(7, Semantics::Elca);
     let serial = Engine::from_xml(&xml).unwrap();
     let q = serial.query("alpha beta").unwrap();
-    let base = serial.search(&q, Semantics::Elca);
-    let base_topk = serial.top_k(&q, 7, Semantics::Elca);
-    let (base_auto, base_engine) = serial.top_k_auto(&q, 7, Semantics::Elca);
+    let base = serial.run(&q, &complete).results;
+    let base_topk = serial.run(&q, &topk_req).results;
+    let base_auto_resp = serial.run(&q, &auto_req);
+    let (base_auto, base_engine) = (base_auto_resp.results, base_auto_resp.engine);
     for par in PARS {
         let engine = Engine::from_xml(&xml).unwrap().with_parallelism(par);
         assert_eq!(engine.parallelism(), par);
         let q = engine.query("alpha beta").unwrap();
-        assert_eq!(nodes(base.clone()), nodes(engine.search(&q, Semantics::Elca)));
-        let topk = engine.top_k(&q, 7, Semantics::Elca);
+        assert_eq!(nodes(base.clone()), nodes(engine.run(&q, &complete).results));
+        let topk = engine.run(&q, &topk_req).results;
         assert_eq!(base_topk.len(), topk.len());
         for (a, b) in base_topk.iter().zip(&topk) {
             assert_eq!(a.node, b.node);
             assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
-        let (auto, engine_used) = engine.top_k_auto(&q, 7, Semantics::Elca);
+        let auto_resp = engine.run(&q, &auto_req);
+        let (auto, engine_used) = (auto_resp.results, auto_resp.engine);
         assert_eq!(base_engine, engine_used, "planner choice under {par}");
         assert_eq!(base_auto.len(), auto.len());
         for (a, b) in base_auto.iter().zip(&auto) {

@@ -1,0 +1,204 @@
+//! Differential tests for the unified request API: the deprecated
+//! `Engine` entry points and `Engine::run` must return **bit-identical**
+//! results (nodes, order, score bits) for every semantics × algorithm ×
+//! parallelism combination, and the recorded trace must be identical
+//! across `Parallelism` settings.
+
+#![allow(deprecated)]
+
+use xtk_core::engine::Algorithm;
+use xtk_core::joinbased::JoinOptions;
+use xtk_core::request::{DiskEngine, Executor, QueryAlgorithm, QueryRequest};
+use xtk_core::topk::TopKOptions;
+use xtk_core::{ElcaVariant, Engine, Parallelism, ScoredResult, Semantics, TraceLevel};
+
+fn corpus() -> String {
+    let mut xml = String::from("<dblp>");
+    for i in 0..400 {
+        xml.push_str(&format!(
+            "<conf><year>20{:02}</year><paper><title>xml keyword topic{} search</title>\
+             <author>author{}</author></paper><paper><title>top k join rare{}</title>\
+             </paper></conf>",
+            i % 30,
+            i % 7,
+            i % 13,
+            i % 97
+        ));
+    }
+    xml.push_str("</dblp>");
+    xml
+}
+
+fn bits(rs: &[ScoredResult]) -> Vec<(u32, u16, u32)> {
+    rs.iter().map(|r| (r.node.0, r.level, r.score.to_bits())).collect()
+}
+
+const PAR: [Parallelism; 2] = [Parallelism::Serial, Parallelism::Auto];
+const SEM: [Semantics; 2] = [Semantics::Elca, Semantics::Slca];
+
+#[test]
+fn search_equals_run_complete() {
+    let e = Engine::from_xml(&corpus()).unwrap();
+    let q = e.query("xml search").unwrap();
+    for par in PAR {
+        let e = Engine::from_xml(&corpus()).unwrap().with_parallelism(par);
+        for sem in SEM {
+            let old = e.search(&q, sem);
+            let new = e
+                .run(&q, &QueryRequest::complete(sem).with_algorithm(QueryAlgorithm::JoinBased))
+                .results;
+            assert_eq!(bits(&old), bits(&new), "{sem:?} {par:?}");
+        }
+    }
+}
+
+#[test]
+fn search_unranked_equals_run_for_every_algorithm() {
+    let e = Engine::from_xml(&corpus()).unwrap();
+    let q = e.query("xml keyword").unwrap();
+    let pairs = [
+        (Algorithm::JoinBased, QueryAlgorithm::JoinBased),
+        (Algorithm::StackBased, QueryAlgorithm::StackBased),
+        (Algorithm::IndexBased, QueryAlgorithm::IndexBased),
+    ];
+    for sem in SEM {
+        for (old_alg, new_alg) in pairs {
+            let old = e.search_unranked(&q, sem, old_alg);
+            let new = e
+                .run(&q, &QueryRequest::complete(sem).unranked().with_algorithm(new_alg))
+                .results;
+            assert_eq!(bits(&old), bits(&new), "{sem:?} {new_alg:?}");
+        }
+    }
+}
+
+#[test]
+fn top_k_family_equals_run() {
+    let q_text = "top join";
+    for par in PAR {
+        let e = Engine::from_xml(&corpus()).unwrap().with_parallelism(par);
+        let q = e.query(q_text).unwrap();
+        for sem in SEM {
+            for k in [1, 5, 50] {
+                let req = QueryRequest::top_k(k, sem);
+                let old = e.top_k(&q, k, sem);
+                let new = e.run(&q, &req.with_algorithm(QueryAlgorithm::TopKJoin)).results;
+                assert_eq!(bits(&old), bits(&new), "top_k {sem:?} {par:?} k={k}");
+
+                let (old_auto, _) = e.top_k_auto(&q, k, sem);
+                let new_auto = e.run(&q, &req).results;
+                assert_eq!(bits(&old_auto), bits(&new_auto), "auto {sem:?} {par:?} k={k}");
+
+                let old_rdil = e.top_k_rdil(&q, k, sem);
+                let new_rdil =
+                    e.run(&q, &req.with_algorithm(QueryAlgorithm::Rdil)).results;
+                assert_eq!(bits(&old_rdil), bits(&new_rdil), "rdil {sem:?} {par:?} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn with_stats_counters_equal_run_metrics() {
+    let e = Engine::from_xml(&corpus()).unwrap();
+    let q = e.query("xml search").unwrap();
+    let (_, js) = e.search_with_stats(&q, &JoinOptions::default());
+    let resp = e.run(
+        &q,
+        &QueryRequest::complete(Semantics::Elca)
+            .unranked()
+            .with_algorithm(QueryAlgorithm::JoinBased),
+    );
+    assert_eq!(resp.metrics.get("join.levels"), js.levels as u64);
+    assert_eq!(resp.metrics.get("join.matches"), js.matches);
+    assert_eq!(resp.metrics.get("join.results"), js.results);
+    assert_eq!(
+        resp.metrics.get("join.merge_joins") + resp.metrics.get("join.index_joins"),
+        (js.merge_joins + js.index_joins) as u64
+    );
+
+    let (_, ts) = e.top_k_with_stats(&q, &TopKOptions { k: 10, ..Default::default() });
+    let resp = e.run(
+        &q,
+        &QueryRequest::top_k(10, Semantics::Elca).with_algorithm(QueryAlgorithm::TopKJoin),
+    );
+    assert_eq!(resp.metrics.get("topk.rows_retrieved"), ts.rows_retrieved);
+    assert_eq!(resp.metrics.get("topk.columns"), ts.columns as u64);
+    assert_eq!(resp.metrics.get("topk.candidates"), ts.candidates);
+}
+
+#[test]
+fn traces_are_bit_identical_across_parallelism() {
+    let reqs = [
+        QueryRequest::complete(Semantics::Elca)
+            .with_algorithm(QueryAlgorithm::JoinBased)
+            .with_trace(TraceLevel::Events),
+        QueryRequest::complete(Semantics::Slca)
+            .with_algorithm(QueryAlgorithm::JoinBased)
+            .with_trace(TraceLevel::Events),
+        QueryRequest::top_k(7, Semantics::Elca)
+            .with_algorithm(QueryAlgorithm::TopKJoin)
+            .with_trace(TraceLevel::Events),
+    ];
+    for (qi, q_text) in ["xml search", "top join", "keyword author4"].iter().enumerate() {
+        let serial = Engine::from_xml(&corpus()).unwrap();
+        let auto = Engine::from_xml(&corpus()).unwrap().with_parallelism(Parallelism::Auto);
+        let q = serial.query(q_text).unwrap();
+        for (ri, req) in reqs.iter().enumerate() {
+            let t1 = serial.run(&q, req).trace.expect("trace requested");
+            let t2 = auto.run(&q, req).trace.expect("trace requested");
+            assert_eq!(t1, t2, "query {qi} request {ri}");
+            assert!(!t1.events.is_empty());
+            // Logical sequence numbers, no wall clock: the rendered JSON
+            // is byte-identical too.
+            assert_eq!(t1.to_json_lines(), t2.to_json_lines());
+        }
+    }
+}
+
+#[test]
+fn disk_and_memory_executors_agree_bit_for_bit() {
+    let e = Engine::from_xml(&corpus()).unwrap();
+    let path = std::env::temp_dir()
+        .join(format!("xtk_request_diff_{}.bin", std::process::id()));
+    xtk_index::disk::write_index(
+        e.index(),
+        &path,
+        xtk_index::disk::WriteIndexOptions { include_scores: true, ..Default::default() },
+    )
+    .unwrap();
+    let store = xtk_index::diskcol::DiskColumnStore::open(&path).unwrap();
+    for par in PAR {
+        let mem = Engine::from_xml(&corpus()).unwrap().with_parallelism(par);
+        let disk = DiskEngine::new(mem.index(), &store).with_parallelism(par);
+        let q = mem.query("xml rare17").unwrap();
+        for sem in SEM {
+            for variant in [ElcaVariant::Operational, ElcaVariant::Formal] {
+                let req = QueryRequest::complete(sem)
+                    .with_variant(variant)
+                    .with_algorithm(QueryAlgorithm::JoinBased);
+                let m = mem.run(&q, &req);
+                let d = disk.execute(&q, &req).unwrap();
+                assert_eq!(bits(&m.results), bits(&d.results), "{sem:?} {variant:?} {par:?}");
+            }
+        }
+    }
+    // The disk trace is deterministic across parallelism too (decode
+    // counts are parallelism-invariant under the unbounded default cache).
+    let mem = Engine::from_xml(&corpus()).unwrap();
+    let q = mem.query("xml rare17").unwrap();
+    let req = QueryRequest::complete(Semantics::Elca)
+        .with_algorithm(QueryAlgorithm::JoinBased)
+        .with_trace(TraceLevel::Events);
+    let warm = DiskEngine::new(mem.index(), &store);
+    let _ = warm.execute(&q, &req).unwrap(); // warm the cache: decodes settle at 0
+    let t1 = warm.execute(&q, &req).unwrap().trace.expect("trace");
+    let t2 = DiskEngine::new(mem.index(), &store)
+        .with_parallelism(Parallelism::Auto)
+        .execute(&q, &req)
+        .unwrap()
+        .trace
+        .expect("trace");
+    assert_eq!(t1, t2);
+    std::fs::remove_file(path).ok();
+}

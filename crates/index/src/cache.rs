@@ -30,6 +30,7 @@ use crate::columnar::Run;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use xtk_obs::MetricsRegistry;
 
 /// A decoded, immutable block: shared instead of cloned on every hit.
 pub type Block = Arc<[Run]>;
@@ -65,6 +66,17 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Publishes the counters into a shared [`MetricsRegistry`] under the
+    /// `cache.*` names (add-semantics: publish into a fresh registry for
+    /// absolute values, or repeatedly for running totals).
+    pub fn publish(&self, metrics: &MetricsRegistry) {
+        metrics.add("cache.hits", self.hits);
+        metrics.add("cache.misses", self.misses);
+        metrics.add("cache.evictions", self.evictions);
+        metrics.add("cache.resident_blocks", self.resident_blocks);
+        metrics.add("cache.resident_bytes", self.resident_bytes);
+    }
 }
 
 /// A thread-safe cache of decoded blocks, keyed by absolute file offset
@@ -76,6 +88,13 @@ impl CacheStats {
 pub trait BlockCache: Send + Sync + std::fmt::Debug {
     /// Looks a block up, recording a hit or miss.
     fn get(&self, key: u64) -> Option<Block>;
+    /// Looks a block up **without** recording a hit or miss.  Used for
+    /// the double-checked lookup under the decode lock, so one logical
+    /// access never counts twice (the per-store-snapshot double-count
+    /// fixed in PR 4).  Recency may still be refreshed.
+    fn peek(&self, key: u64) -> Option<Block> {
+        self.get(key)
+    }
     /// Inserts a decoded block, evicting as needed.
     fn insert(&self, key: u64, block: Block);
     /// Counters so far.
@@ -248,6 +267,15 @@ impl BlockCache for ShardedLruCache {
         }
     }
 
+    fn peek(&self, key: u64) -> Option<Block> {
+        let mut shard = lock_shard(self.shard_for(key));
+        let hit = shard.map.get(&key).map(|(b, _)| b.clone());
+        if hit.is_some() {
+            shard.touch(key);
+        }
+        hit
+    }
+
     fn insert(&self, key: u64, block: Block) {
         let mut shard = lock_shard(self.shard_for(key));
         if shard.map.contains_key(&key) {
@@ -377,6 +405,35 @@ mod tests {
         let s = c.stats();
         assert!(s.hits > 0);
         assert!(s.resident_blocks <= 128);
+    }
+
+    #[test]
+    fn peek_does_not_count_but_refreshes_recency() {
+        let c = ShardedLruCache::with_shards(CacheCapacity::Blocks(2), 1);
+        c.insert(1, block(1, 1));
+        c.insert(2, block(1, 2));
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(99).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "peek records nothing: {s:?}");
+        // The peek still counted as an access: 2 is now the LRU victim.
+        c.insert(3, block(1, 3));
+        assert!(c.peek(2).is_none());
+        assert!(c.peek(1).is_some());
+    }
+
+    #[test]
+    fn publish_into_registry() {
+        let c = ShardedLruCache::unbounded();
+        c.insert(0, block(1, 0));
+        assert!(c.get(0).is_some());
+        assert!(c.get(4096).is_none());
+        let reg = xtk_obs::MetricsRegistry::new();
+        c.stats().publish(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("cache.hits"), 1);
+        assert_eq!(snap.get("cache.misses"), 1);
+        assert_eq!(snap.get("cache.resident_blocks"), 1);
     }
 
     #[test]

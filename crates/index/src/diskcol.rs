@@ -80,6 +80,44 @@ struct TermMeta {
 /// Distinguishes stores sharing one cache (see `block_key`).
 static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Per-store I/O accounting, attributed to *this* store even when the
+/// block cache is shared across stores (the shared [`CacheStats`]
+/// conflates every store touching the cache; these counters do not).
+///
+/// One logical block access counts exactly once: a lookup that finds the
+/// block — on the first probe or on the double-checked probe under the
+/// decode lock — is a `hit`, anything else is a `miss` followed by one
+/// decode, so `misses == decodes` always.  Under an unbounded cache the
+/// counts are parallelism-invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreIoStats {
+    /// Block lookups served from the cache.
+    pub hits: u64,
+    /// Block lookups that required a decode (`== decodes`).
+    pub misses: u64,
+    /// Blocks decoded from disk by this store.
+    pub decodes: u64,
+}
+
+impl StoreIoStats {
+    /// Component-wise `self - earlier`, for per-query deltas.
+    pub fn since(&self, earlier: &StoreIoStats) -> StoreIoStats {
+        StoreIoStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            decodes: self.decodes.saturating_sub(earlier.decodes),
+        }
+    }
+
+    /// Publishes the counters into a [`MetricsRegistry`](xtk_obs::MetricsRegistry)
+    /// under the `store.*` names (add-semantics).
+    pub fn publish(&self, metrics: &xtk_obs::MetricsRegistry) {
+        metrics.add("store.cache_hits", self.hits);
+        metrics.add("store.cache_misses", self.misses);
+        metrics.add("store.decodes", self.decodes);
+    }
+}
+
 /// A read-only, block-granular, thread-safe view of a columnar index file.
 #[derive(Debug)]
 pub struct DiskColumnStore {
@@ -88,6 +126,10 @@ pub struct DiskColumnStore {
     cache: Arc<dyn BlockCache>,
     /// Cache-missing block decodes performed by this store.
     decodes: AtomicU64,
+    /// Block lookups served from the cache for this store.
+    hits: AtomicU64,
+    /// Block lookups that required a decode by this store.
+    misses: AtomicU64,
     /// Disambiguates cache keys when several stores share one cache.
     store_id: u64,
 }
@@ -223,6 +265,8 @@ impl DiskColumnStore {
             terms,
             cache,
             decodes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
             store_id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
         })
     }
@@ -251,6 +295,23 @@ impl DiskColumnStore {
     /// Total cache-missing block decodes performed by this store.
     pub fn reads(&self) -> u64 {
         self.decodes.load(Ordering::Relaxed)
+    }
+
+    /// Per-store I/O counters (see [`StoreIoStats`] for the attribution
+    /// rules).  Unlike [`cache_stats`](Self::cache_stats) these never mix
+    /// in accesses made by other stores sharing the cache.
+    pub fn io_stats(&self) -> StoreIoStats {
+        StoreIoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            decodes: self.decodes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The id salting this store's cache keys; also used to label
+    /// per-store trace events.
+    pub fn store_id(&self) -> u64 {
+        self.store_id
     }
 
     /// Counters of the backing block cache (shared counters when the
@@ -285,14 +346,18 @@ impl DiskColumnStore {
         };
         let key = self.block_key(start);
         if let Some(runs) = self.cache.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(runs);
         }
         let mut f = relock(&self.file);
         // Double-check: another worker may have decoded this block while
-        // we waited for the file lock.
-        if let Some(runs) = self.cache.get(key) {
+        // we waited for the file lock.  `peek` so the shared cache does
+        // not count the same logical access twice.
+        if let Some(runs) = self.cache.peek(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(runs);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         self.decodes.fetch_add(1, Ordering::Relaxed);
         let end = match meta.blocks.get(b + 1) {
             Some(&(next, _)) => next,
@@ -646,6 +711,49 @@ mod tests {
             let stats = store.cache_stats();
             assert!(stats.evictions > 0, "tiny cache must evict: {stats:?}");
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn one_logical_access_counts_once() {
+        // Regression for the PR-4 satellite bugfix: the double-checked
+        // lookup under the file lock used to record a *second* miss per
+        // decode, so a serial cold scan reported misses == 2 * decodes.
+        let (_ix, store, path) = store("misscount");
+        let dc = store.column("shared", 3).unwrap();
+        dc.scan().unwrap();
+        let io = store.io_stats();
+        assert_eq!(io.misses, io.decodes, "misses must equal decodes: {io:?}");
+        assert_eq!(io.hits, 0, "cold scan has no hits: {io:?}");
+        let cs = store.cache_stats();
+        assert_eq!(cs.misses, io.misses, "shared-cache misses match per-store: {cs:?}");
+        dc.scan().unwrap();
+        let io2 = store.io_stats();
+        assert_eq!(io2.decodes, io.decodes, "warm scan decodes nothing");
+        assert!(io2.hits > 0);
+        assert_eq!(io2.since(&io).misses, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn per_store_attribution_with_shared_cache() {
+        // Two stores over the same file sharing one cache: the shared
+        // CacheStats conflates them (salted keys), io_stats() does not.
+        let (_ix, first, path) = store("attrib");
+        let second =
+            DiskColumnStore::open_with_cache(&path, first.shared_cache()).unwrap();
+        first.column("shared", 3).unwrap().scan().unwrap();
+        second.column("shared", 3).unwrap().scan().unwrap();
+        let a = first.io_stats();
+        let b = second.io_stats();
+        assert_eq!(a.decodes, b.decodes, "same column, same block count");
+        assert!(a.decodes > 0);
+        let shared = first.cache_stats();
+        assert_eq!(shared.misses, a.misses + b.misses, "{shared:?}");
+        let reg = xtk_obs::MetricsRegistry::new();
+        a.publish(&reg);
+        b.publish(&reg);
+        assert_eq!(reg.snapshot().get("store.decodes"), a.decodes + b.decodes);
         std::fs::remove_file(path).ok();
     }
 

@@ -13,6 +13,10 @@
 //!   literals.
 //! * **L4 (hard)** — `#![forbid(unsafe_code)]` must be present in every
 //!   crate root.
+//! * **L5 (hard)** — no wall-clock time (`std::time` / `Instant` /
+//!   `SystemTime`) anywhere in `xtk-obs`: the observability layer's
+//!   whole contract is logical sequence numbers, so traces stay
+//!   bit-identical across machines and `Parallelism` settings.
 //!
 //! Code inside `#[cfg(test)]` / `#[test]` items is exempt from every
 //! rule.  `// lint:allow(<rule>)` on the same or previous line suppresses
@@ -26,7 +30,7 @@ use std::collections::BTreeSet;
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// Rule name: `panic`, `index`, `hash-iter`, `time`, `float-eq`,
-    /// `forbid-unsafe`.
+    /// `forbid-unsafe`, `obs-time`.
     pub rule: &'static str,
     /// 1-based source line.
     pub line: u32,
@@ -44,6 +48,8 @@ pub struct FileClass {
     pub exec_scope: bool,
     /// L4 applies: a crate root (`src/lib.rs`).
     pub crate_root: bool,
+    /// L5 applies: the observability crate (`xtk-obs`).
+    pub obs_scope: bool,
 }
 
 /// The analysis result for one file.
@@ -81,6 +87,7 @@ pub fn classify(rel: &str) -> FileClass {
             && (rel.starts_with("crates/core/src/") || rel.starts_with("crates/index/src/")),
         crate_root: rel == "src/lib.rs"
             || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs")),
+        obs_scope: !excluded && rel.starts_with("crates/obs/src/"),
     }
 }
 
@@ -122,6 +129,9 @@ pub fn analyze(src: &str, class: &FileClass) -> FileReport {
     }
     if class.crate_root {
         a.l4(&mut rep);
+    }
+    if class.obs_scope {
+        a.l5(&mut rep);
     }
     rep
 }
@@ -377,14 +387,8 @@ impl<'a> Analyzer<'a> {
             }
             match self.kind(i) {
                 Some(TokKind::Ident) => {
-                    let t = self.text(i);
                     let line = self.line(i);
-                    let is_std_time = t == "std"
-                        && self.kind(i + 1) == Some(TokKind::Op2([b':', b':']))
-                        && self.text(i + 2) == "time";
-                    if (is_std_time || t == "Instant" || t == "SystemTime")
-                        && !self.lx.allowed(line, "time")
-                    {
+                    if self.is_wall_clock(i) && !self.lx.allowed(line, "time") {
                         self.push_hard(
                             rep,
                             "time",
@@ -414,6 +418,38 @@ impl<'a> Analyzer<'a> {
                     }
                 }
                 _ => {}
+            }
+        }
+    }
+
+    /// True when the ident at `i` starts a wall-clock reference:
+    /// `std::time`, `Instant`, or `SystemTime`.
+    fn is_wall_clock(&self, i: usize) -> bool {
+        let t = self.text(i);
+        (t == "std"
+            && self.kind(i + 1) == Some(TokKind::Op2([b':', b':']))
+            && self.text(i + 2) == "time")
+            || t == "Instant"
+            || t == "SystemTime"
+    }
+
+    /// L5: no wall-clock time anywhere in `xtk-obs`.  Unlike L3 there is
+    /// no `lint:allow` escape — the crate's contract (logical sequence
+    /// numbers only, bit-identical traces) admits no exceptions.
+    fn l5(&self, rep: &mut FileReport) {
+        for i in 0..self.n() {
+            if self.is_masked(i) || self.kind(i) != Some(TokKind::Ident) {
+                continue;
+            }
+            if self.is_wall_clock(i) {
+                self.push_hard(
+                    rep,
+                    "obs-time",
+                    self.line(i),
+                    "wall-clock time inside xtk-obs; the observability layer must \
+                     order events by logical sequence numbers only"
+                        .to_string(),
+                );
             }
         }
     }
@@ -537,9 +573,14 @@ fn scan_attr(src: &str, lx: &Lexed, open: usize) -> Option<(usize, bool)> {
 mod tests {
     use super::*;
 
-    const LIB: FileClass = FileClass { lib_code: true, exec_scope: false, crate_root: false };
-    const EXEC: FileClass = FileClass { lib_code: true, exec_scope: true, crate_root: false };
-    const ROOT: FileClass = FileClass { lib_code: true, exec_scope: false, crate_root: true };
+    const LIB: FileClass =
+        FileClass { lib_code: true, exec_scope: false, crate_root: false, obs_scope: false };
+    const EXEC: FileClass =
+        FileClass { lib_code: true, exec_scope: true, crate_root: false, obs_scope: false };
+    const ROOT: FileClass =
+        FileClass { lib_code: true, exec_scope: false, crate_root: true, obs_scope: false };
+    const OBS: FileClass =
+        FileClass { lib_code: true, exec_scope: false, crate_root: false, obs_scope: true };
 
     #[test]
     fn classify_paths() {
@@ -553,6 +594,10 @@ mod tests {
         assert!(!classify("src/bin/tool.rs").lib_code);
         assert!(!classify("examples/demo.rs").lib_code);
         assert!(!classify("crates/lint/fixtures/bad_panics.rs").lib_code);
+        assert!(classify("crates/obs/src/trace.rs").obs_scope);
+        assert!(!classify("crates/obs/src/trace.rs").exec_scope);
+        assert!(!classify("crates/core/src/topk.rs").obs_scope);
+        assert!(!classify("crates/obs/tests/api.rs").obs_scope);
     }
 
     #[test]
@@ -660,6 +705,26 @@ mod tests {
     fn l3_int_eq_is_fine() {
         let src = "pub fn f(a: u32) -> bool { a == 5 && 1.5 < 2.0 }";
         assert!(analyze(src, &EXEC).hard.is_empty());
+    }
+
+    #[test]
+    fn l5_flags_wall_clock_in_obs() {
+        let src = r#"
+            pub fn stamp() -> u64 { let _t = std::time::SystemTime::now(); 0 }
+        "#;
+        let rep = analyze(src, &OBS);
+        assert_eq!(rep.hard.first().map(|f| f.rule), Some("obs-time"), "{:?}", rep.hard);
+    }
+
+    #[test]
+    fn l5_has_no_allow_escape_but_skips_tests() {
+        let src = "pub fn t() -> u64 { // lint:allow(time)\n    let _x = Instant::now(); 0 }\n";
+        let rep = analyze(src, &OBS);
+        assert_eq!(rep.hard.first().map(|f| f.rule), Some("obs-time"), "{:?}", rep.hard);
+        let test_only = "#[cfg(test)]\nmod tests { fn t() { let _ = Instant::now(); } }\n";
+        assert!(analyze(test_only, &OBS).hard.is_empty());
+        let clean = "pub fn seq(n: u64) -> u64 { n + 1 }\n";
+        assert!(analyze(clean, &OBS).hard.is_empty());
     }
 
     #[test]

@@ -6,9 +6,14 @@
 use std::path::Path;
 use xtk_lint::rules::{analyze, classify, FileClass, FileReport};
 
-const LIB: FileClass = FileClass { lib_code: true, exec_scope: false, crate_root: false };
-const EXEC: FileClass = FileClass { lib_code: true, exec_scope: true, crate_root: false };
-const ROOT: FileClass = FileClass { lib_code: true, exec_scope: false, crate_root: true };
+const LIB: FileClass =
+    FileClass { lib_code: true, exec_scope: false, crate_root: false, obs_scope: false };
+const EXEC: FileClass =
+    FileClass { lib_code: true, exec_scope: true, crate_root: false, obs_scope: false };
+const ROOT: FileClass =
+    FileClass { lib_code: true, exec_scope: false, crate_root: true, obs_scope: false };
+const OBS: FileClass =
+    FileClass { lib_code: true, exec_scope: false, crate_root: false, obs_scope: true };
 
 fn fixture(name: &str, class: &FileClass) -> FileReport {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
@@ -59,6 +64,14 @@ fn wall_clock_time_fails_in_exec_scope() {
     // The same file is fine outside the query-execution crates (the bench
     // crate measures time for a living).
     assert!(fixture("bad_time.rs", &LIB).hard.is_empty());
+}
+
+#[test]
+fn wall_clock_time_fails_in_obs_scope() {
+    // L5 reuses the bad_time fixture: anything that trips the exec-scope
+    // time rule must also trip (without an allow escape) inside xtk-obs.
+    let rep = fixture("bad_time.rs", &OBS);
+    assert!(hard_rules(&rep).contains(&"obs-time"), "{:?}", rep.hard);
 }
 
 #[test]

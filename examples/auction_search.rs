@@ -6,7 +6,7 @@
 //! cargo run --release --example auction_search
 //! ```
 
-use xtk::core::{Engine, Semantics};
+use xtk::core::{Engine, QueryRequest, Semantics};
 use xtk::datagen::xmark::{generate, XmarkConfig};
 use xtk::datagen::PlantedTerm;
 use xtk::index::disk::{read_index, write_index, WriteIndexOptions};
@@ -51,9 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Queries: items about vintage cameras.
     let q = engine.query("vintage camera")?;
     println!("\ntop-5 ELCA for {{vintage, camera}}:");
-    for r in engine.top_k(&q, 5, Semantics::Elca) {
+    for r in engine.run(&q, &QueryRequest::top_k(5, Semantics::Elca)).results {
         println!("  {}", engine.describe(&r));
     }
-    println!("\nSLCA count: {}", engine.search(&q, Semantics::Slca).len());
+    let slca = engine.run(&q, &QueryRequest::complete(Semantics::Slca));
+    println!("\nSLCA count: {}", slca.results.len());
     Ok(())
 }

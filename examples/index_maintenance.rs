@@ -6,7 +6,7 @@
 //! cargo run --example index_maintenance
 //! ```
 
-use xtk::core::{Engine, Semantics};
+use xtk::core::{Engine, QueryRequest, Semantics};
 use xtk::xml::maintain::JDeweyMaintainer;
 use xtk::xml::parse;
 
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (compacted, _) = m.compact();
     let engine = Engine::new(compacted);
     let q = engine.query("incremental xml")?;
-    let hits = engine.search(&q, Semantics::Elca);
+    let hits = engine.run(&q, &QueryRequest::complete(Semantics::Elca)).results;
     println!("\nquery {{incremental, xml}} after maintenance: {} results", hits.len());
     for r in hits.iter().take(3) {
         println!("  {}", engine.describe(r));

@@ -1,16 +1,15 @@
 //! Literature search over a generated DBLP-like corpus: the workload the
 //! paper's introduction motivates.  Compares the complete join-based
 //! engine with the top-K star join and the §V-D hybrid planner, and shows
-//! the execution counters.
+//! the unified execution metrics every `Engine::run` response carries.
 //!
 //! ```text
 //! cargo run --release --example literature_search
 //! ```
 
 use xtk::core::engine::Engine;
-use xtk::core::joinbased::JoinOptions;
 use xtk::core::query::Semantics;
-use xtk::core::topk::TopKOptions;
+use xtk::core::request::{QueryAlgorithm, QueryRequest};
 use xtk::datagen::dblp::{generate, DblpConfig};
 use xtk::datagen::PlantedTerm;
 
@@ -39,37 +38,41 @@ fn main() {
 
     // A correlated query: lots of results, the top-K join shines.
     let q = engine.query("skyline preference").unwrap();
-    let (results, stats) =
-        engine.top_k_with_stats(&q, &TopKOptions { k: 5, semantics: Semantics::Elca, ..Default::default() });
+    let resp = engine.run(
+        &q,
+        &QueryRequest::top_k(5, Semantics::Elca).with_algorithm(QueryAlgorithm::TopKJoin),
+    );
     println!("top-5 for {{skyline, preference}} (correlated):");
-    for r in &results {
+    for r in &resp.results {
         println!("  {}", engine.describe(r));
     }
+    let m = &resp.metrics;
     println!(
         "  [top-K join: {} rows retrieved over {} columns, {} candidates, {} emitted early]\n",
-        stats.rows_retrieved, stats.columns, stats.candidates, stats.emitted_early
+        m.get("topk.rows_retrieved"),
+        m.get("topk.columns"),
+        m.get("topk.candidates"),
+        m.get("topk.emitted_early")
     );
 
     // An uncorrelated query: few results — the hybrid planner routes it to
     // the complete join instead.
     let q = engine.query("skyline crowdsourcing").unwrap();
-    let (results, planned) = engine.top_k_auto(&q, 5, Semantics::Elca);
-    println!("top-5 for {{skyline, crowdsourcing}} (uncorrelated) via {planned:?}:");
-    for r in &results {
+    let resp = engine.run(&q, &QueryRequest::top_k(5, Semantics::Elca));
+    println!("top-5 for {{skyline, crowdsourcing}} (uncorrelated) via {:?}:", resp.engine);
+    for r in &resp.results {
         println!("  {}", engine.describe(r));
     }
 
     // The complete engine's execution counters show the per-level joins.
-    let (all, jstats) = engine.search_with_stats(
-        &q,
-        &JoinOptions { with_scores: true, ..Default::default() },
-    );
+    let resp = engine.run(&q, &QueryRequest::complete(Semantics::Elca));
+    let m = &resp.metrics;
     println!(
         "\ncomplete set: {} results; {} levels, {} merge joins, {} index joins, {} raw matches",
-        all.len(),
-        jstats.levels,
-        jstats.merge_joins,
-        jstats.index_joins,
-        jstats.matches
+        resp.results.len(),
+        m.get("join.levels"),
+        m.get("join.merge_joins"),
+        m.get("join.index_joins"),
+        m.get("join.matches")
     );
 }

@@ -4,7 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use xtk::core::{Engine, Semantics};
+use xtk::core::{Engine, QueryRequest, Semantics};
 
 const DOC: &str = r#"
 <bib>
@@ -44,21 +44,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Complete result set under ELCA semantics, ranked.
     let query = engine.query("keyword search xml")?;
     println!("ELCA results for {{keyword, search, xml}}:");
-    for r in engine.search(&query, Semantics::Elca) {
+    for r in engine.run(&query, &QueryRequest::complete(Semantics::Elca)).results {
         println!("  {}", engine.describe(&r));
     }
 
-    // Top-2 via the join-based top-K star join: terminates as soon as the
-    // two best results clear the unseen-result threshold.
+    // Top-2 via the top-K planner: terminates as soon as the two best
+    // results clear the unseen-result threshold.
     println!("\ntop-2 for {{keyword, databases}}:");
     let query = engine.query("keyword databases")?;
-    for r in engine.top_k(&query, 2, Semantics::Elca) {
-        println!("  {}", engine.describe(&r));
+    let resp = engine.run(&query, &QueryRequest::top_k(2, Semantics::Elca));
+    for r in &resp.results {
+        println!("  {}", engine.describe(r));
     }
+    println!("  [answered by {:?}]", resp.engine);
 
     // SLCA keeps only the lowest matches.
     println!("\nSLCA results for {{keyword, databases}}:");
-    for r in engine.search(&query, Semantics::Slca) {
+    for r in engine.run(&query, &QueryRequest::complete(Semantics::Slca)).results {
         println!("  {}", engine.describe(&r));
     }
     Ok(())

@@ -7,9 +7,12 @@
 //!   --all       return the complete ranked result set
 //!   --slca      SLCA semantics instead of ELCA
 //!   --engine E  answer with a specific engine (complete set: join, stack,
-//!               indexed; top-K: join [star join] or rdil)
+//!               indexed; top-K: join [star join], auto [hybrid planner],
+//!               or rdil)
 //!   --explain   print the per-level join plan instead of results
-//!   --stats     print corpus and execution statistics
+//!   --trace     print the recorded execution trace (JSON lines) after
+//!               the results — real events, not a re-simulation
+//!   --stats     print corpus statistics and the execution metrics
 //! ```
 //!
 //! Example:
@@ -19,15 +22,16 @@
 //! ```
 
 use std::process::exit;
-use xtk::core::engine::{Algorithm, Engine};
+use xtk::core::engine::Engine;
 use xtk::core::joinbased::JoinOptions;
 use xtk::core::query::Semantics;
-use xtk::core::result::sort_ranked;
+use xtk::core::request::{QueryAlgorithm, QueryRequest};
+use xtk::core::TraceLevel;
 
 fn usage() -> ! {
     eprintln!(
         "usage: xtk <file.xml> <keywords…> [--top K] [--all] [--slca] \
-         [--engine join|stack|indexed|rdil] [--stats]"
+         [--engine join|stack|indexed|auto|rdil] [--explain] [--trace] [--stats]"
     );
     exit(2);
 }
@@ -44,6 +48,7 @@ fn main() {
     let mut slca = false;
     let mut stats = false;
     let mut explain = false;
+    let mut trace = false;
     let mut engine_name = "join".to_string();
     let mut i = 1;
     while i < args.len() {
@@ -56,6 +61,7 @@ fn main() {
             "--slca" => slca = true,
             "--stats" => stats = true,
             "--explain" => explain = true,
+            "--trace" => trace = true,
             "--engine" => {
                 i += 1;
                 engine_name = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -109,36 +115,37 @@ fn main() {
         return;
     }
 
-    let t0 = std::time::Instant::now();
-    let results = if all {
-        match engine_name.as_str() {
-            "join" => engine.search(&query, semantics),
-            "stack" => {
-                let mut rs = engine.search_unranked(&query, semantics, Algorithm::StackBased);
-                sort_ranked(&mut rs);
-                rs
-            }
-            "indexed" => {
-                let mut rs = engine.search_unranked(&query, semantics, Algorithm::IndexBased);
-                sort_ranked(&mut rs);
-                rs
-            }
-            _ => usage(),
-        }
-    } else {
-        let k = top.unwrap_or(10);
-        match engine_name.as_str() {
-            "join" => engine.top_k(&query, k, semantics),
-            "rdil" => engine.top_k_rdil(&query, k, semantics),
-            _ => usage(),
-        }
+    let algorithm = match (all, engine_name.as_str()) {
+        (true, "join") => QueryAlgorithm::JoinBased,
+        (true, "stack") => QueryAlgorithm::StackBased,
+        (true, "indexed") => QueryAlgorithm::IndexBased,
+        (false, "join") => QueryAlgorithm::TopKJoin,
+        (false, "auto") => QueryAlgorithm::Auto,
+        (false, "rdil") => QueryAlgorithm::Rdil,
+        _ => usage(),
     };
+    let mut req = if all {
+        QueryRequest::complete(semantics)
+    } else {
+        QueryRequest::top_k(top.unwrap_or(10), semantics)
+    }
+    .with_algorithm(algorithm);
+    if trace {
+        req = req.with_trace(TraceLevel::Events);
+    }
+
+    let t0 = std::time::Instant::now();
+    let resp = engine.run(&query, &req);
     let elapsed = t0.elapsed();
 
-    for (rank, r) in results.iter().enumerate() {
+    for (rank, r) in resp.results.iter().enumerate() {
         println!("{:>3}. {}", rank + 1, engine.describe(r));
     }
+    if let Some(tr) = &resp.trace {
+        print!("{}", tr.to_json_lines());
+    }
     if stats {
-        eprintln!("{} result(s) in {:.2?}", results.len(), elapsed);
+        eprintln!("{} result(s) in {:.2?} via {:?}", resp.results.len(), elapsed, resp.engine);
+        eprintln!("{}", resp.metrics.to_json());
     }
 }

@@ -2,8 +2,9 @@
 //! re-parse → index → persist the columnar index → reload → query with
 //! every engine → agreement and ranking checks.
 
-use xtk::core::engine::{Algorithm, Engine, ALL_ALGORITHMS};
+use xtk::core::engine::Engine;
 use xtk::core::query::Semantics;
+use xtk::core::request::{QueryAlgorithm, QueryRequest};
 use xtk::core::result::sort_ranked;
 use xtk::datagen::dblp::{generate, DblpConfig};
 use xtk::datagen::PlantedTerm;
@@ -43,8 +44,9 @@ fn generated_corpus_survives_xml_roundtrip() {
     let e2 = Engine::new(back);
     let q1 = e1.query("roundtrip").unwrap();
     let q2 = e2.query("roundtrip").unwrap();
-    let r1 = e1.search(&q1, Semantics::Slca);
-    let r2 = e2.search(&q2, Semantics::Slca);
+    let req = QueryRequest::complete(Semantics::Slca);
+    let r1 = e1.run(&q1, &req).results;
+    let r2 = e2.run(&q2, &req).results;
     assert_eq!(r1.len(), r2.len());
     assert_eq!(r1.len(), 10);
 }
@@ -59,30 +61,35 @@ fn engines_agree_on_generated_corpus() {
     ] {
         let q = engine.query(&words.join(" ")).unwrap();
         // SLCA: all three complete engines agree exactly.
-        let mut sets: Vec<Vec<_>> = ALL_ALGORITHMS
-            .iter()
-            .map(|&a| {
-                let mut v: Vec<_> = engine
-                    .search_unranked(&q, Semantics::Slca, a)
-                    .into_iter()
-                    .map(|r| r.node)
-                    .collect();
-                v.sort();
-                v
-            })
-            .collect();
+        let mut sets: Vec<Vec<_>> = [
+            QueryAlgorithm::JoinBased,
+            QueryAlgorithm::StackBased,
+            QueryAlgorithm::IndexBased,
+        ]
+        .iter()
+        .map(|&a| {
+            let req = QueryRequest::complete(Semantics::Slca).unranked().with_algorithm(a);
+            let mut v: Vec<_> =
+                engine.run(&q, &req).results.into_iter().map(|r| r.node).collect();
+            v.sort();
+            v
+        })
+        .collect();
         let first = sets.remove(0);
         for s in sets {
             assert_eq!(s, first, "SLCA disagreement on {words:?}");
         }
         // ELCA: join-based and stack-based agree (operational variant).
+        let elca = QueryRequest::complete(Semantics::Elca).unranked();
         let mut a: Vec<_> = engine
-            .search_unranked(&q, Semantics::Elca, Algorithm::JoinBased)
+            .run(&q, &elca.with_algorithm(QueryAlgorithm::JoinBased))
+            .results
             .into_iter()
             .map(|r| r.node)
             .collect();
         let mut b: Vec<_> = engine
-            .search_unranked(&q, Semantics::Elca, Algorithm::StackBased)
+            .run(&q, &elca.with_algorithm(QueryAlgorithm::StackBased))
+            .results
             .into_iter()
             .map(|r| r.node)
             .collect();
@@ -96,10 +103,12 @@ fn engines_agree_on_generated_corpus() {
 fn topk_is_the_ranked_prefix() {
     let engine = corpus_engine();
     let q = engine.query("planted1 planted2").unwrap();
-    let mut complete = engine.search(&q, Semantics::Elca);
+    let mut complete = engine.run(&q, &QueryRequest::complete(Semantics::Elca)).results;
     sort_ranked(&mut complete);
     for k in [1, 3, 10, 50] {
-        let top = engine.top_k(&q, k, Semantics::Elca);
+        let top = engine
+            .run(&q, &QueryRequest::top_k(k, Semantics::Elca).with_algorithm(QueryAlgorithm::TopKJoin))
+            .results;
         assert_eq!(top.len(), k.min(complete.len()));
         for (i, r) in top.iter().enumerate() {
             assert!(
@@ -117,8 +126,10 @@ fn hybrid_routes_and_matches_topk_scores() {
     let engine = corpus_engine();
     // Correlated pair: should go to the top-K join.
     let q = engine.query("planted1 planted2").unwrap();
-    let (hy, _) = engine.top_k_auto(&q, 5, Semantics::Elca);
-    let tk = engine.top_k(&q, 5, Semantics::Elca);
+    let hy = engine.run(&q, &QueryRequest::top_k(5, Semantics::Elca)).results;
+    let tk = engine
+        .run(&q, &QueryRequest::top_k(5, Semantics::Elca).with_algorithm(QueryAlgorithm::TopKJoin))
+        .results;
     assert_eq!(hy.len(), tk.len());
     for (a, b) in hy.iter().zip(&tk) {
         assert!((a.score - b.score).abs() < 1e-4);
@@ -160,7 +171,9 @@ fn rdil_and_indexed_agree_on_formal_ranking() {
         })
         .unwrap();
     sort_ranked(&mut complete);
-    let top = engine.top_k_rdil(&q, 5, Semantics::Elca);
+    let top = engine
+        .run(&q, &QueryRequest::top_k(5, Semantics::Elca).with_algorithm(QueryAlgorithm::Rdil))
+        .results;
     assert_eq!(top.len(), 5.min(complete.len()));
     for (i, r) in top.iter().enumerate() {
         assert!((r.score - complete[i].score).abs() < 1e-4, "rank {i}");
