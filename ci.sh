@@ -35,6 +35,15 @@ echo "== bench smoke: unified metrics snapshot vs committed golden (exact match)
 #   metrics_snapshot --check BENCH_metrics.json --update
 cargo run -q --offline --release -p xtk-bench --bin metrics_snapshot -- --check BENCH_metrics.json
 
+echo "== bench smoke: batched serving vs committed baseline"
+# Replays the skewed serving mix sequentially and batched; the run itself
+# asserts byte-identical results, replay-stable decode/hit counters,
+# zero-decode warm result-cache hits, and >=1.3x batched throughput.
+# The --check compares the deterministic counters (decodes, result-cache
+# misses, result counts) with a 20 % ratchet.  Refresh after an
+# intentional change with:  serve_bench --check BENCH_serve.json --update
+cargo run -q --offline --release -p xtk-bench --bin serve_bench -- --check BENCH_serve.json
+
 if [ "${XTK_SKIP_CLIPPY:-0}" = "1" ]; then
     echo "== clippy skipped (XTK_SKIP_CLIPPY=1)"
 elif cargo clippy --version >/dev/null 2>&1; then

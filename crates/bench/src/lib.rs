@@ -254,10 +254,54 @@ pub fn equal_queries(k: usize, freq: usize, count: usize) -> Vec<Vec<String>> {
     out
 }
 
+/// A repeat-skewed serving schedule: `total` arrival indices into a set
+/// of `distinct` requests, where ~80 % of arrivals land on the hottest
+/// ~20 % of requests — the Zipf-like repeat skew of a real serving mix,
+/// which is what makes a result cache worth having.  Deterministic in
+/// `seed`.
+pub fn skewed_schedule(distinct: usize, total: usize, seed: u64) -> Vec<usize> {
+    assert!(distinct > 0, "schedule needs at least one distinct request");
+    let mut rng = xtk_xml::testutil::Rng::seed_from_u64(seed);
+    let hot = distinct.div_ceil(5);
+    (0..total)
+        .map(|_| {
+            if rng.gen_bool(0.8) {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(0..distinct)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use xtk_core::query::Query;
+
+    #[test]
+    fn skewed_schedule_is_deterministic_bounded_and_skewed() {
+        let a = skewed_schedule(30, 240, 7);
+        let b = skewed_schedule(30, 240, 7);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, skewed_schedule(30, 240, 8), "seed matters");
+        assert_eq!(a.len(), 240);
+        assert!(a.iter().all(|&i| i < 30));
+        // ~80 % of arrivals land on the hot fifth (6 of 30): the uniform
+        // 20 % adds 1/5 · 1/5 more, so expect ~84 %; require a loose 60 %.
+        let hot = a.iter().filter(|&&i| i < 6).count();
+        assert!(hot * 10 >= a.len() * 6, "hot share too low: {hot}/240");
+        // Every distinct request should still appear somewhere.
+        let mut seen: Vec<bool> = vec![false; 30];
+        for &i in &a {
+            if let Some(s) = seen.get_mut(i) {
+                *s = true;
+            }
+        }
+        // 48 uniform draws over 30 slots cover ~80 % of the cold tail in
+        // expectation; require a loose two-thirds overall.
+        assert!(seen.iter().filter(|&&s| s).count() >= 20, "tail starved");
+    }
 
     #[test]
     fn small_corpus_has_planted_terms_at_expected_frequencies() {

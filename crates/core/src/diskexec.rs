@@ -28,7 +28,7 @@ use crate::result::ScoredResult;
 use std::io;
 use xtk_index::columnar::{gallop_lower_bound, Run};
 use xtk_index::diskcol::DiskColumnStore;
-use xtk_index::{TermData, XmlIndex};
+use xtk_index::{TermData, TermId, XmlIndex};
 use xtk_obs::{EventKind, JoinStrategy, Obs};
 
 /// Below this many intermediate values the per-level join loops run
@@ -257,6 +257,30 @@ pub fn join_search_disk_obs(
     publish_join_stats(&stats, obs);
     io.publish(&obs.metrics);
     Ok((results, stats, io.decodes))
+}
+
+/// The cross-query prefetch pass: warms and pins every column block of the
+/// given terms (a batch passes the union of its distinct queries' terms)
+/// so execution runs entirely against resident blocks and cannot evict its
+/// own working set.  Returns the total number of blocks pinned.  Balance
+/// with [`release_terms`].
+pub fn prefetch_terms(
+    ix: &XmlIndex,
+    store: &DiskColumnStore,
+    terms: &[TermId],
+) -> io::Result<u64> {
+    let mut pinned = 0u64;
+    for &t in terms {
+        pinned += store.prefetch_term(&ix.term(t).term)?;
+    }
+    Ok(pinned)
+}
+
+/// Releases the pins taken by [`prefetch_terms`] (same term set).
+pub fn release_terms(ix: &XmlIndex, store: &DiskColumnStore, terms: &[TermId]) {
+    for &t in terms {
+        store.unpin_term(&ix.term(t).term);
+    }
 }
 
 #[cfg(test)]

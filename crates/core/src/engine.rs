@@ -41,19 +41,20 @@ pub enum Algorithm {
 pub struct Engine {
     ix: XmlIndex,
     parallelism: Parallelism,
+    batch_cache: crate::batch::ResultCache,
 }
 
 impl Engine {
     /// Indexes a parsed tree with default options.
     pub fn new(tree: XmlTree) -> Self {
-        Self { ix: XmlIndex::build(tree), parallelism: Parallelism::Serial }
+        Self::from_index(XmlIndex::build(tree))
     }
 
     /// Indexes with explicit options (damping λ, JDewey gap, parallelism).
     /// The index-build parallelism carries over to query execution.
     pub fn with_options(tree: XmlTree, opts: IndexOptions) -> Self {
         let parallelism = opts.parallelism;
-        Self { ix: XmlIndex::build_with(tree, opts), parallelism }
+        Self::from_index(XmlIndex::build_with(tree, opts)).with_parallelism(parallelism)
     }
 
     /// Parses and indexes an XML string.
@@ -63,7 +64,11 @@ impl Engine {
 
     /// Wraps an already-built index.
     pub fn from_index(ix: XmlIndex) -> Self {
-        Self { ix, parallelism: Parallelism::Serial }
+        Self {
+            ix,
+            parallelism: Parallelism::Serial,
+            batch_cache: crate::batch::ResultCache::default(),
+        }
     }
 
     /// Sets the query-execution parallelism (builder style).  Every
@@ -86,6 +91,21 @@ impl Engine {
     /// The underlying index.
     pub fn index(&self) -> &XmlIndex {
         &self.ix
+    }
+
+    /// Swaps in a rebuilt index, e.g. after incremental maintenance.
+    ///
+    /// The batched-serving result cache invalidates by index generation,
+    /// so stamp the rebuilt index first —
+    /// `ix.set_generation(old_generation + maintainer.generation())` —
+    /// or cached answers from the old tree would keep being served.
+    pub fn replace_index(&mut self, ix: XmlIndex) {
+        self.ix = ix;
+    }
+
+    /// The batched-serving result cache (see [`Engine::run_batch`]).
+    pub fn result_cache(&self) -> &crate::batch::ResultCache {
+        &self.batch_cache
     }
 
     /// The indexed tree.

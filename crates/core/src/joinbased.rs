@@ -150,6 +150,10 @@ pub fn join_search_obs(
     obs.event(EventKind::QueryStart { keywords: k as u32, start_level: l0 as u32 });
     let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
     let mut results = Vec::new();
+    // One reusable per-value run buffer for the whole query: the serial
+    // match loop used to allocate a fresh `Vec<Run>` per joined value,
+    // which dominated allocator traffic on large levels.
+    let mut run_scratch: Vec<Run> = Vec::with_capacity(k);
 
     let workers = opts.parallelism.workers();
     for l in (1..=l0).rev() {
@@ -171,22 +175,48 @@ pub fn join_search_obs(
             // Same-level runs of distinct values are disjoint, so the
             // range checks and scores computed against the level-entry
             // erasure state equal what the serial value-order loop sees.
-            let evals = parallel_map(opts.parallelism, &values, |_, &v| {
-                // A joined value is present in every column by construction.
-                let runs: Vec<Run> =
-                    cols.iter().filter_map(|c| c.find(v).copied()).collect();
-                if runs.len() != cols.len() {
-                    return (runs, false, false, 0.0);
+            // Each chunk packs its runs into one flat buffer — two
+            // allocations per chunk instead of one `Vec<Run>` per value.
+            let ranges = chunk_ranges(values.len(), phase_chunks(opts.parallelism));
+            let evals = parallel_map(opts.parallelism, &ranges, |_, range| {
+                let mut flat: Vec<Run> = Vec::with_capacity(range.len() * cols.len());
+                let mut verdicts: Vec<(bool, bool, bool, f32)> =
+                    Vec::with_capacity(range.len());
+                for &v in values.iter().skip(range.start).take(range.len()) {
+                    // A joined value is present in every column by
+                    // construction.
+                    let base = flat.len();
+                    flat.extend(cols.iter().filter_map(|c| c.find(v).copied()));
+                    let runs = flat.get(base..).unwrap_or(&[]);
+                    if runs.len() != cols.len() {
+                        flat.truncate(base);
+                        verdicts.push((false, false, false, 0.0));
+                        continue;
+                    }
+                    let (emit, erase, score) =
+                        evaluate_match(ix, &terms, &erasers, runs, l, opts);
+                    verdicts.push((true, emit, erase, score));
                 }
-                let (emit, erase, score) = evaluate_match(ix, &terms, &erasers, &runs, l, opts);
-                (runs, emit, erase, score)
+                (flat, verdicts)
             });
             // Commit in ascending value order — emission order and the
             // erasure state evolve exactly as in the serial engine.
-            for (v, (runs, emit, erase, score)) in values.into_iter().zip(evals) {
-                stats.matches += 1;
-                if commit_match(ix, &mut erasers, &runs, l, v, emit, erase, score, &mut results) {
-                    stats.results += 1;
+            let mut values_it = values.iter().copied();
+            for (flat, verdicts) in evals {
+                let mut base = 0;
+                // Verdicts drive the zip: when a chunk runs dry the value
+                // iterator must not be advanced past the chunk boundary.
+                for ((found, emit, erase, score), v) in verdicts.into_iter().zip(values_it.by_ref()) {
+                    stats.matches += 1;
+                    if !found {
+                        continue;
+                    }
+                    let runs = flat.get(base..base + cols.len()).unwrap_or(&[]);
+                    base += cols.len();
+                    if commit_match(ix, &mut erasers, runs, l, v, emit, erase, score, &mut results)
+                    {
+                        stats.results += 1;
+                    }
                 }
             }
         } else {
@@ -194,12 +224,12 @@ pub fn join_search_obs(
                 stats.matches += 1;
                 // Per-keyword run for this value; present in all k by
                 // construction of the join.
-                let runs: Vec<Run> =
-                    cols.iter().filter_map(|c| c.find(v).copied()).collect();
-                if runs.len() != cols.len() {
+                run_scratch.clear();
+                run_scratch.extend(cols.iter().filter_map(|c| c.find(v).copied()));
+                if run_scratch.len() != cols.len() {
                     continue;
                 }
-                if apply_match(ix, &terms, &mut erasers, &runs, l, v, opts, &mut results) {
+                if apply_match(ix, &terms, &mut erasers, &run_scratch, l, v, opts, &mut results) {
                     stats.results += 1;
                 }
             }

@@ -43,8 +43,12 @@
 //!   backend, semantics and algorithm, returning results plus the unified
 //!   metrics snapshot and, on request, the deterministic execution trace
 //!   recorded by `xtk-obs`.
+//! * [`batch`] — batched serving: request dedup, a generation-stamped
+//!   result cache, cross-query prefetch pinning, and parallel execution
+//!   with input-order output ([`Engine::run_batch`]).
 
 pub mod baseline;
+pub mod batch;
 pub mod diskexec;
 pub mod engine;
 pub mod eraser;
@@ -60,6 +64,7 @@ pub mod starjoin;
 pub mod topk;
 pub mod verify;
 
+pub use batch::{BatchExecutor, BatchItem, BatchOptions, BatchReport, ResultCache};
 pub use engine::Engine;
 pub use pool::Parallelism;
 pub use query::{ElcaVariant, Query, Semantics};

@@ -29,7 +29,7 @@ use crate::result::{sort_ranked, ScoredResult};
 use crate::topk::{topk_search_obs, ThresholdKind, TopKOptions};
 use std::io;
 use xtk_index::diskcol::DiskColumnStore;
-use xtk_index::XmlIndex;
+use xtk_index::{TermId, XmlIndex};
 use xtk_obs::{MetricsRegistry, MetricsSnapshot, Obs, Trace, TraceLevel, Tracer};
 
 /// Which engine answers the request.
@@ -335,11 +335,56 @@ impl Engine {
 pub trait Executor {
     /// Executes the request for the (pre-resolved) query.
     fn execute(&self, query: &Query, req: &QueryRequest) -> io::Result<QueryResponse>;
+
+    /// Generation of the index this backend answers from (see
+    /// `XmlIndex::generation`).  The batch result cache stamps entries
+    /// with this value and re-executes when it moves.
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// Warms the storage layer for the given terms before a batch runs
+    /// (the cross-query prefetch pass), pinning what it warmed.  Returns
+    /// the number of blocks pinned; backends without a block layer (the
+    /// in-memory engine) pin nothing.  Balance with
+    /// [`Executor::release`].
+    fn prefetch(&self, terms: &[TermId]) -> io::Result<u64> {
+        let _ = terms;
+        Ok(0)
+    }
+
+    /// Releases the pins taken by [`Executor::prefetch`] for `terms`.
+    fn release(&self, terms: &[TermId]) {
+        let _ = terms;
+    }
+}
+
+/// Executors pass through shared references, so batch drivers can borrow.
+impl<E: Executor + ?Sized> Executor for &E {
+    fn execute(&self, query: &Query, req: &QueryRequest) -> io::Result<QueryResponse> {
+        (**self).execute(query, req)
+    }
+
+    fn generation(&self) -> u64 {
+        (**self).generation()
+    }
+
+    fn prefetch(&self, terms: &[TermId]) -> io::Result<u64> {
+        (**self).prefetch(terms)
+    }
+
+    fn release(&self, terms: &[TermId]) {
+        (**self).release(terms)
+    }
 }
 
 impl Executor for Engine {
     fn execute(&self, query: &Query, req: &QueryRequest) -> io::Result<QueryResponse> {
         Ok(self.run(query, req))
+    }
+
+    fn generation(&self) -> u64 {
+        self.index().generation()
     }
 }
 
@@ -395,6 +440,18 @@ impl Executor for DiskEngine<'_> {
                 "the on-disk executor implements the join-based algorithm only",
             )),
         }
+    }
+
+    fn generation(&self) -> u64 {
+        self.ix.generation()
+    }
+
+    fn prefetch(&self, terms: &[TermId]) -> io::Result<u64> {
+        crate::diskexec::prefetch_terms(self.ix, self.store, terms)
+    }
+
+    fn release(&self, terms: &[TermId]) {
+        crate::diskexec::release_terms(self.ix, self.store, terms)
     }
 }
 

@@ -1,0 +1,104 @@
+//! Result-cache invalidation through incremental maintenance: after an
+//! insert or delete via `xtk-xml`'s `JDeweyMaintainer`, a previously
+//! cached batch request must re-execute (observable as a generation bump
+//! and an invalidation in the batch metrics) and return the **updated**
+//! answer — no explicit cache flush anywhere.
+
+use xtk_core::{BatchItem, BatchOptions, Engine, QueryRequest, Semantics};
+use xtk_index::XmlIndex;
+use xtk_xml::maintain::JDeweyMaintainer;
+
+const DOC: &str = "<bib><conf><paper><title>xml keyword search</title>\
+                   <author>ann</author></paper><paper><title>top k ranking</title>\
+                   <abs>keyword</abs></paper></conf></bib>";
+
+/// Rebuilds the engine's index from the maintainer's current tree,
+/// stamping it so the result cache notices: new generation = old
+/// generation + number of successful structural mutations.
+fn refresh(engine: &mut Engine, maintainer: &JDeweyMaintainer) {
+    let (tree, _) = maintainer.compact();
+    let generation = engine.index().generation() + maintainer.generation();
+    engine.replace_index(XmlIndex::build(tree).with_generation(generation));
+}
+
+#[test]
+fn insert_invalidates_cached_batch_and_updates_the_answer() {
+    let mut maintainer = JDeweyMaintainer::new(xtk_xml::parse(DOC).unwrap(), 16);
+    let mut engine = Engine::from_xml(DOC).unwrap();
+    let opts = BatchOptions::default();
+
+    let q = engine.query("keyword ranking").unwrap();
+    let items = vec![BatchItem::new(q, QueryRequest::complete(Semantics::Elca))];
+    let cold = engine.run_batch_report(&items, &opts);
+    assert_eq!(cold.metrics.get("batch.result_misses"), 1);
+    assert_eq!(cold.metrics.get("batch.generation"), 0);
+    let baseline = cold.responses[0].results.len();
+
+    let warm = engine.run_batch_report(&items, &opts);
+    assert_eq!(warm.metrics.get("batch.result_hits"), 1);
+    assert_eq!(warm.responses[0].results.len(), baseline);
+
+    // Incremental insert: a new paper matching the query.
+    let root = maintainer.tree().root();
+    let conf = maintainer.tree().children(root)[0];
+    let paper = maintainer.insert_child_auto(conf, "paper").unwrap();
+    let title = maintainer.insert_child_auto(paper, "title").unwrap();
+    maintainer.tree_mut().append_text(title, "fresh keyword ranking survey");
+    assert_eq!(maintainer.generation(), 2, "two structural mutations");
+    refresh(&mut engine, &maintainer);
+    assert_eq!(engine.index().generation(), 2);
+
+    // Same items, same fingerprints — but the generation stamp moved, so
+    // the cached entry is dropped and the request re-executes.
+    let q = engine.query("keyword ranking").unwrap();
+    let items = vec![BatchItem::new(q, QueryRequest::complete(Semantics::Elca))];
+    let after = engine.run_batch_report(&items, &opts);
+    assert_eq!(after.metrics.get("batch.invalidations"), 1, "generation bump observed");
+    assert_eq!(after.metrics.get("batch.result_misses"), 1);
+    assert_eq!(after.metrics.get("batch.generation"), 2);
+    assert!(
+        after.responses[0].results.len() > baseline,
+        "inserted paper must appear in the refreshed answer: {} vs {}",
+        after.responses[0].results.len(),
+        baseline
+    );
+
+    // And the refreshed answer is itself cached again.
+    let warm = engine.run_batch_report(&items, &opts);
+    assert_eq!(warm.metrics.get("batch.result_hits"), 1);
+    assert_eq!(warm.responses[0].results.len(), after.responses[0].results.len());
+}
+
+#[test]
+fn delete_invalidates_cached_batch_and_shrinks_the_answer() {
+    let mut maintainer = JDeweyMaintainer::new(xtk_xml::parse(DOC).unwrap(), 16);
+    let mut engine = Engine::from_xml(DOC).unwrap();
+    let opts = BatchOptions::default();
+
+    let q = engine.query("keyword").unwrap();
+    let items = vec![BatchItem::new(q, QueryRequest::complete(Semantics::Slca))];
+    let cold = engine.run_batch_report(&items, &opts);
+    let baseline = cold.responses[0].results.len();
+    assert!(baseline >= 2, "both papers contain the keyword");
+    assert_eq!(engine.run_batch_report(&items, &opts).metrics.get("batch.result_hits"), 1);
+
+    // Remove the second paper (the one whose <abs> holds the keyword).
+    let root = maintainer.tree().root();
+    let conf = maintainer.tree().children(root)[0];
+    let second_paper = maintainer.tree().children(conf)[1];
+    maintainer.remove_subtree(second_paper).unwrap();
+    assert_eq!(maintainer.generation(), 1);
+    refresh(&mut engine, &maintainer);
+
+    let q = engine.query("keyword").unwrap();
+    let items = vec![BatchItem::new(q, QueryRequest::complete(Semantics::Slca))];
+    let after = engine.run_batch_report(&items, &opts);
+    assert_eq!(after.metrics.get("batch.invalidations"), 1);
+    assert_eq!(after.metrics.get("batch.generation"), 1);
+    assert!(
+        after.responses[0].results.len() < baseline,
+        "removed subtree must leave the refreshed answer: {} vs {}",
+        after.responses[0].results.len(),
+        baseline
+    );
+}

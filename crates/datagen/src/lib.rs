@@ -87,11 +87,10 @@ pub(crate) fn plant_terms(
         );
         let mut chosen: Vec<NodeId> = Vec::with_capacity(p.occurrences);
         let mut used = std::collections::HashSet::new();
-        let partner: Option<(&Vec<NodeId>, f64)> = p.colocate_with.as_ref().map(|(other, rho)| {
-            let hs = homes
-                .get(other.as_str())
-                .unwrap_or_else(|| panic!("{:?} must be planted before {:?}", other, p.term));
-            (hs, *rho)
+        let partner: Option<(&Vec<NodeId>, f64)> = p.colocate_with.as_ref().and_then(|(other, rho)| {
+            let hs = homes.get(other.as_str());
+            assert!(hs.is_some(), "{:?} must be planted before {:?}", other, p.term);
+            hs.map(|hs| (hs, *rho))
         });
         while chosen.len() < p.occurrences {
             let pick = match partner {

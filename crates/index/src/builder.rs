@@ -159,6 +159,12 @@ pub struct XmlIndex {
     subtree_size: Vec<u32>,
     /// Number of nodes with non-empty direct text ("documents" for idf).
     n_docs: u64,
+    /// Index generation for result-cache invalidation: a fresh build is
+    /// generation 0; rebuilds after incremental maintenance are stamped by
+    /// the caller (see `JDeweyMaintainer::generation` in `xtk-xml`).  The
+    /// batch result cache stores the generation a response was computed
+    /// against and drops entries whose stamp no longer matches.
+    generation: u64,
 }
 
 impl XmlIndex {
@@ -303,7 +309,24 @@ impl XmlIndex {
             }
         }
 
-        Self { tree, dewey, jd, damping: opts.damping, vocab, terms, subtree_size, n_docs }
+        Self { tree, dewey, jd, damping: opts.damping, vocab, terms, subtree_size, n_docs, generation: 0 }
+    }
+
+    /// Index generation (0 for a fresh build; see the field docs).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Stamps the index generation after a maintenance rebuild.
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// Builder-style [`XmlIndex::set_generation`].
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
     }
 
     /// The indexed tree.

@@ -99,6 +99,25 @@ pub trait BlockCache: Send + Sync + std::fmt::Debug {
     fn insert(&self, key: u64, block: Block);
     /// Counters so far.
     fn stats(&self) -> CacheStats;
+    /// Pins a **resident** block: pinned blocks are never chosen as
+    /// eviction victims until every pin is released.  Returns `true` when
+    /// the block was resident and is now pinned, `false` when absent (the
+    /// caller should decode + insert, then retry).  Pins nest: each `pin`
+    /// needs a matching [`BlockCache::unpin`].  Policies that cannot pin
+    /// (the default) report `false` — warming still helps, it is just not
+    /// guaranteed to survive eviction.
+    fn pin(&self, key: u64) -> bool {
+        let _ = key;
+        false
+    }
+    /// Releases one pin on `key`; a no-op when the block is not pinned.
+    fn unpin(&self, key: u64) {
+        let _ = key;
+    }
+    /// Number of distinct blocks currently pinned.
+    fn pinned_blocks(&self) -> u64 {
+        0
+    }
 }
 
 /// Capacity policy for [`ShardedLruCache`].
@@ -128,6 +147,8 @@ struct Shard {
     clock: u64,
     /// Approximate resident bytes in this shard.
     bytes: usize,
+    /// `key -> pin count`; pinned keys are skipped by eviction.
+    pins: HashMap<u64, u32>,
 }
 
 impl Shard {
@@ -238,7 +259,15 @@ impl ShardedLruCache {
             if !over_blocks && !over_bytes {
                 return;
             }
-            let Some((&stamp, &victim)) = shard.lru.iter().next() else {
+            // Oldest *unpinned* entry; pinned blocks may transiently hold a
+            // shard over budget, which is the point of pinning (a batch's
+            // prefetched working set must survive its own execution).
+            let victim = shard
+                .lru
+                .iter()
+                .map(|(&stamp, &key)| (stamp, key))
+                .find(|(_, key)| !shard.pins.contains_key(key));
+            let Some((stamp, victim)) = victim else {
                 return;
             };
             shard.lru.remove(&stamp);
@@ -307,6 +336,30 @@ impl BlockCache for ShardedLruCache {
             resident_blocks,
             resident_bytes,
         }
+    }
+
+    fn pin(&self, key: u64) -> bool {
+        let mut shard = lock_shard(self.shard_for(key));
+        if !shard.map.contains_key(&key) {
+            return false;
+        }
+        *shard.pins.entry(key).or_insert(0) += 1;
+        shard.touch(key);
+        true
+    }
+
+    fn unpin(&self, key: u64) {
+        let mut shard = lock_shard(self.shard_for(key));
+        if let Some(count) = shard.pins.get_mut(&key) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                shard.pins.remove(&key);
+            }
+        }
+    }
+
+    fn pinned_blocks(&self) -> u64 {
+        self.shards.iter().map(|m| lock_shard(m).pins.len() as u64).sum()
     }
 }
 
@@ -434,6 +487,62 @@ mod tests {
         assert_eq!(snap.get("cache.hits"), 1);
         assert_eq!(snap.get("cache.misses"), 1);
         assert_eq!(snap.get("cache.resident_blocks"), 1);
+    }
+
+    #[test]
+    fn pinned_blocks_survive_eviction_pressure() {
+        // Single shard, two-block budget: pin one block, then flood.
+        let c = ShardedLruCache::with_shards(CacheCapacity::Blocks(2), 1);
+        c.insert(1, block(1, 1));
+        assert!(c.pin(1), "resident block pins");
+        assert!(!c.pin(99), "absent block does not pin");
+        assert_eq!(c.pinned_blocks(), 1);
+        for k in 2..10u64 {
+            c.insert(k, block(1, k as u32));
+        }
+        assert!(c.peek(1).is_some(), "pinned block never evicted");
+        c.unpin(1);
+        assert_eq!(c.pinned_blocks(), 0);
+        c.insert(100, block(1, 100));
+        c.insert(101, block(1, 101));
+        assert!(c.peek(1).is_none(), "unpinned block evicts normally");
+    }
+
+    #[test]
+    fn pins_nest_and_unpin_is_idempotent_when_absent() {
+        let c = ShardedLruCache::with_shards(CacheCapacity::Blocks(1), 1);
+        c.insert(1, block(1, 1));
+        assert!(c.pin(1));
+        assert!(c.pin(1), "pins nest");
+        c.unpin(1);
+        assert_eq!(c.pinned_blocks(), 1, "one pin still held");
+        c.insert(2, block(1, 2));
+        assert!(c.peek(1).is_some());
+        c.unpin(1);
+        c.unpin(1); // extra unpin is a no-op
+        assert_eq!(c.pinned_blocks(), 0);
+        // All pins released: budget-1 shard keeps only the newest insert.
+        c.insert(3, block(1, 3));
+        assert!(c.peek(1).is_none());
+    }
+
+    #[test]
+    fn all_pinned_shard_stops_evicting_without_spinning() {
+        let c = ShardedLruCache::with_shards(CacheCapacity::Blocks(1), 1);
+        c.insert(1, block(1, 1));
+        assert!(c.pin(1));
+        // Over budget, but the pinned resident is untouchable: the
+        // unpinned newcomer is the only legal victim, and insert returns
+        // promptly instead of spinning for room that cannot appear.
+        c.insert(2, block(1, 2));
+        assert!(c.peek(1).is_some(), "pinned block survives eviction");
+        assert!(c.peek(2).is_none(), "newcomer was the only legal victim");
+        assert_eq!(c.stats().resident_blocks, 1);
+        // Once the pin drops, budget enforcement cycles normally again.
+        c.unpin(1);
+        c.insert(3, block(1, 3));
+        assert!(c.peek(3).is_some());
+        assert!(c.peek(1).is_none());
     }
 
     #[test]

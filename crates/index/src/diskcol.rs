@@ -325,6 +325,54 @@ impl DiskColumnStore {
         Arc::clone(&self.cache)
     }
 
+    /// Warms and pins every block of every level column of `term`: blocks
+    /// not yet resident are decoded (counted as ordinary misses/decodes),
+    /// then pinned so batch execution cannot evict its own prefetched
+    /// working set.  Returns the number of blocks successfully pinned —
+    /// less than the block count only when the cache policy cannot pin or
+    /// a tiny capacity evicts a block between insert and pin.  Absent
+    /// terms prefetch nothing.  Balance with
+    /// [`DiskColumnStore::unpin_term`].
+    pub fn prefetch_term(&self, term: &str) -> io::Result<u64> {
+        let Some(meta) = self.terms.get(term) else {
+            return Ok(0);
+        };
+        let mut pinned = 0u64;
+        for col in &meta.columns {
+            let mut row_base = 0u32;
+            for b in 0..col.blocks.len() {
+                let runs = self.decode_block(col, b, row_base)?;
+                row_base = row_base
+                    .checked_add(runs.iter().map(|r| r.len).sum::<u32>())
+                    .ok_or_else(|| bad("row count overflow"))?;
+                if let Some(&(start, _)) = col.blocks.get(b) {
+                    pinned += u64::from(self.cache.pin(self.block_key(start)));
+                }
+            }
+        }
+        Ok(pinned)
+    }
+
+    /// Releases one pin on every block of `term`'s columns (the inverse of
+    /// [`DiskColumnStore::prefetch_term`]); unknown terms and never-pinned
+    /// blocks are no-ops.
+    pub fn unpin_term(&self, term: &str) {
+        let Some(meta) = self.terms.get(term) else {
+            return;
+        };
+        for col in &meta.columns {
+            for &(start, _) in &col.blocks {
+                self.cache.unpin(self.block_key(start));
+            }
+        }
+    }
+
+    /// Distinct blocks currently pinned in the backing cache (shared
+    /// counter when the cache is shared across stores).
+    pub fn pinned_blocks(&self) -> u64 {
+        self.cache.pinned_blocks()
+    }
+
     /// Cache key for the block starting at file offset `start`: offsets
     /// identify blocks within a file, the store id separates files.
     fn block_key(&self, start: u64) -> u64 {
@@ -567,6 +615,35 @@ mod tests {
             assert_eq!(dc.find(999_999).unwrap(), None);
             std::fs::remove_file(path).ok();
         }
+    }
+
+    #[test]
+    fn prefetch_pins_all_blocks_and_later_probes_decode_nothing() {
+        let (_ix, store, path) = store("prefetch");
+        let total_blocks: usize = (1..=store.levels_of("shared"))
+            .filter_map(|l| store.column("shared", l))
+            .map(|dc| dc.block_count())
+            .sum();
+        let pinned = store.prefetch_term("shared").unwrap();
+        assert_eq!(pinned as usize, total_blocks, "every block warmed and pinned");
+        assert_eq!(store.pinned_blocks(), pinned);
+        let decodes = store.reads();
+        // Every subsequent access is a cache hit: zero further decodes.
+        let dc = store.column("shared", 3).unwrap();
+        dc.scan().unwrap();
+        dc.find(1).unwrap();
+        assert_eq!(store.reads(), decodes, "prefetched column never re-decodes");
+        // Re-prefetching a warm term decodes nothing and nests pins.
+        let again = store.prefetch_term("shared").unwrap();
+        assert_eq!(again, pinned);
+        assert_eq!(store.reads(), decodes);
+        store.unpin_term("shared");
+        store.unpin_term("shared");
+        assert_eq!(store.pinned_blocks(), 0);
+        // Absent terms are a no-op on both sides.
+        assert_eq!(store.prefetch_term("no-such-term").unwrap(), 0);
+        store.unpin_term("no-such-term");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

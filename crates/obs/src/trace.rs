@@ -92,6 +92,18 @@ pub enum EventKind {
     StoreIo { store: u32, decodes: u64 },
     /// Query finished with `results` results.
     QueryEnd { results: u64 },
+    /// A batch was admitted: total requests and the distinct execution
+    /// classes left after canonicalization + dedup.
+    BatchStart { queries: u64, distinct: u64 },
+    /// The cross-query prefetch pass warmed and pinned the union of the
+    /// batch's term columns before execution.
+    BatchPrefetch { terms: u64, blocks_pinned: u64 },
+    /// One batch slot was resolved: `source` is `"cache"` (served from
+    /// the generation-stamped result cache), `"dedup"` (identical to an
+    /// executed slot earlier in the batch) or `"exec"` (executed).
+    BatchServe { index: u64, source: &'static str },
+    /// Batch finished: total results over every slot.
+    BatchEnd { queries: u64, results: u64 },
 }
 
 impl EventKind {
@@ -107,6 +119,10 @@ impl EventKind {
             EventKind::PoolPhase { .. } => "pool_phase",
             EventKind::StoreIo { .. } => "store_io",
             EventKind::QueryEnd { .. } => "query_end",
+            EventKind::BatchStart { .. } => "batch_start",
+            EventKind::BatchPrefetch { .. } => "batch_prefetch",
+            EventKind::BatchServe { .. } => "batch_serve",
+            EventKind::BatchEnd { .. } => "batch_end",
         }
     }
 
@@ -158,6 +174,18 @@ impl EventKind {
                 vec![("store", U64(store as u64)), ("decodes", U64(decodes))]
             }
             EventKind::QueryEnd { results } => vec![("results", U64(results))],
+            EventKind::BatchStart { queries, distinct } => {
+                vec![("queries", U64(queries)), ("distinct", U64(distinct))]
+            }
+            EventKind::BatchPrefetch { terms, blocks_pinned } => {
+                vec![("terms", U64(terms)), ("blocks_pinned", U64(blocks_pinned))]
+            }
+            EventKind::BatchServe { index, source } => {
+                vec![("index", U64(index)), ("source", Str(source))]
+            }
+            EventKind::BatchEnd { queries, results } => {
+                vec![("queries", U64(queries)), ("results", U64(results))]
+            }
         }
     }
 }

@@ -43,6 +43,8 @@ pub struct JDeweyMaintainer {
     pub reencode_count: usize,
     /// Total nodes renumbered across all re-encodes.
     pub reencoded_nodes: usize,
+    /// Content generation: bumped once per successful mutation.
+    generation: u64,
 }
 
 impl JDeweyMaintainer {
@@ -51,7 +53,18 @@ impl JDeweyMaintainer {
     pub fn new(tree: XmlTree, gap: u32) -> Self {
         let jd = JDeweyAssignment::assign(&tree, gap);
         let removed = vec![false; tree.len()];
-        Self { tree, jd, removed, gap, reencode_count: 0, reencoded_nodes: 0 }
+        Self { tree, jd, removed, gap, reencode_count: 0, reencoded_nodes: 0, generation: 0 }
+    }
+
+    /// Content generation: the number of successful `insert_child` /
+    /// `remove_subtree` mutations applied so far.  Re-encodes do not count
+    /// (they renumber without changing content).  Downstream result caches
+    /// stamp entries with the generation of the index they were computed
+    /// against; rebuild an index after maintenance with
+    /// `base_generation + maintainer.generation()` so stale entries are
+    /// detected by a plain counter compare.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The underlying tree (contains tombstones after removals).
@@ -99,6 +112,7 @@ impl JDeweyMaintainer {
         self.removed.push(false);
         debug_assert_eq!(self.removed.len(), self.tree.len());
         self.jd.register(&self.tree, id, n);
+        self.generation += 1;
         Ok(id)
     }
 
@@ -143,6 +157,7 @@ impl JDeweyMaintainer {
                 *slot = true;
             }
         }
+        self.generation += 1;
         Ok(())
     }
 
@@ -439,6 +454,29 @@ mod tests {
         assert_eq!(m.assignment().number(c), 1);
         assert_eq!(m.tree().depth(c), 3);
         validate_levels(&m);
+    }
+
+    #[test]
+    fn generation_counts_successful_mutations_only() {
+        let t = parse("<r><a><x/><y/></a><b><z/></b></r>").unwrap();
+        let mut m = JDeweyMaintainer::new(t, 1);
+        assert_eq!(m.generation(), 0);
+        let a = m.tree().children(m.tree().root())[0];
+        let c = m.insert_child(a, "new").unwrap();
+        assert_eq!(m.generation(), 1);
+        // Gap exhausted: a failed insert must not bump the generation.
+        assert!(m.insert_child(a, "again").is_err());
+        assert_eq!(m.generation(), 1);
+        m.remove_subtree(c).unwrap();
+        assert_eq!(m.generation(), 2);
+        assert!(m.remove_subtree(c).is_err());
+        assert_eq!(m.generation(), 2);
+        // Auto-insert with a re-encode is one logical mutation.
+        let mut m0 = JDeweyMaintainer::new(parse("<r><a><x/></a><b><z/></b></r>").unwrap(), 0);
+        let a0 = m0.tree().children(m0.tree().root())[0];
+        m0.insert_child_auto(a0, "n").unwrap();
+        assert!(m0.reencode_count >= 1);
+        assert_eq!(m0.generation(), 1);
     }
 
     #[test]

@@ -165,7 +165,15 @@ where
         resume_unwind(payload);
     }
     out.into_iter()
-        .map(|o| o.expect("every task ran exactly once"))
+        .zip(items)
+        .enumerate()
+        // Every slot was filled: each index is claimed by exactly one
+        // fetch_add and its result collected above.  Recomputing a (never
+        // observed) missing slot inline keeps the pool panic-free.
+        .map(|(i, (slot, item))| match slot {
+            Some(v) => v,
+            None => f(i, item),
+        })
         .collect()
 }
 

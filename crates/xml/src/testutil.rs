@@ -227,6 +227,9 @@ where
             }
             let (min_size, payload) = best;
             let msg = panic_message(&payload);
+            // The panic IS the contract here: prop_check reports a failing
+            // property by panicking with the replay line.
+            // lint:allow(panic)
             panic!(
                 "property failed (seed={seed}, case={case}, size={min_size}): {msg}\n\
                  replay with: prop_replay({seed}, {case}, {min_size}, property)"

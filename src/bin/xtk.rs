@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! xtk <file.xml> <keywords…> [--top K] [--slca] [--all] [--engine join|stack|indexed|rdil]
+//! xtk <file.xml> --batch <queries.txt> [--top K] [--all] [--slca] [--stats]
 //!
 //!   --top K     return the K best results (default: top 10)
 //!   --all       return the complete ranked result set
@@ -9,10 +10,15 @@
 //!   --engine E  answer with a specific engine (complete set: join, stack,
 //!               indexed; top-K: join [star join], auto [hybrid planner],
 //!               or rdil)
+//!   --batch F   read one keyword query per line from F and serve them as
+//!               one batch (dedup + result cache + cross-query planning);
+//!               the shared --top/--all/--slca settings apply to every
+//!               line.  Blank lines and #-comments are skipped.
 //!   --explain   print the per-level join plan instead of results
 //!   --trace     print the recorded execution trace (JSON lines) after
 //!               the results — real events, not a re-simulation
 //!   --stats     print corpus statistics and the execution metrics
+//!               (with --batch: the batch scheduling metrics)
 //! ```
 //!
 //! Example:
@@ -26,12 +32,13 @@ use xtk::core::engine::Engine;
 use xtk::core::joinbased::JoinOptions;
 use xtk::core::query::Semantics;
 use xtk::core::request::{QueryAlgorithm, QueryRequest};
-use xtk::core::TraceLevel;
+use xtk::core::{BatchItem, BatchOptions, TraceLevel};
 
 fn usage() -> ! {
     eprintln!(
         "usage: xtk <file.xml> <keywords…> [--top K] [--all] [--slca] \
-         [--engine join|stack|indexed|auto|rdil] [--explain] [--trace] [--stats]"
+         [--engine join|stack|indexed|auto|rdil] [--batch FILE] [--explain] \
+         [--trace] [--stats]"
     );
     exit(2);
 }
@@ -50,6 +57,7 @@ fn main() {
     let mut explain = false;
     let mut trace = false;
     let mut engine_name = "join".to_string();
+    let mut batch_file: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -66,12 +74,16 @@ fn main() {
                 i += 1;
                 engine_name = args.get(i).cloned().unwrap_or_else(|| usage());
             }
+            "--batch" => {
+                i += 1;
+                batch_file = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             w if !w.starts_with("--") => keywords.push(w.to_string()),
             _ => usage(),
         }
         i += 1;
     }
-    if keywords.is_empty() {
+    if keywords.is_empty() && batch_file.is_none() {
         usage();
     }
 
@@ -98,6 +110,54 @@ fn main() {
             engine.index().vocab_size(),
             built
         );
+    }
+
+    if let Some(batch_path) = &batch_file {
+        let text = match std::fs::read_to_string(batch_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtk: cannot read {batch_path}: {e}");
+                exit(1);
+            }
+        };
+        let semantics = if slca { Semantics::Slca } else { Semantics::Elca };
+        let base = if all {
+            QueryRequest::complete(semantics)
+        } else {
+            QueryRequest::top_k(top.unwrap_or(10), semantics)
+        };
+        let mut lines: Vec<String> = Vec::new();
+        let mut items: Vec<BatchItem> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match engine.query(line) {
+                Ok(q) => {
+                    items.push(BatchItem::new(q, base));
+                    lines.push(line.to_string());
+                }
+                Err(e) => {
+                    eprintln!("xtk: {line:?}: {e}");
+                    exit(1);
+                }
+            }
+        }
+        let t0 = std::time::Instant::now();
+        let report = engine.run_batch_report(&items, &BatchOptions::default());
+        let elapsed = t0.elapsed();
+        for (line, resp) in lines.iter().zip(&report.responses) {
+            println!("## {line}");
+            for (rank, r) in resp.results.iter().enumerate() {
+                println!("{:>3}. {}", rank + 1, engine.describe(r));
+            }
+        }
+        if stats {
+            eprintln!("{} quer(ies) in {:.2?}", items.len(), elapsed);
+            eprintln!("{}", report.metrics.to_json());
+        }
+        return;
     }
 
     let query = match engine.query(&keywords.join(" ")) {
