@@ -44,6 +44,15 @@ echo "== bench smoke: batched serving vs committed baseline"
 # intentional change with:  serve_bench --check BENCH_serve.json --update
 cargo run -q --offline --release -p xtk-bench --bin serve_bench -- --check BENCH_serve.json
 
+echo "== bench smoke: sharded scatter-gather vs committed baseline"
+# Replays the mixed top-K/complete workload at 1/2/4/8 shards; the run
+# itself asserts byte-identical results across every topology and vs the
+# unsharded reference, and that the TA early-stop changes nothing bit for
+# bit.  The --check compares the deterministic counters (result counts,
+# decodes, shards executed) with a 20 % ratchet.  Refresh after an
+# intentional change with:  shard_bench --check BENCH_shard.json --update
+cargo run -q --offline --release -p xtk-bench --bin shard_bench -- --check BENCH_shard.json
+
 if [ "${XTK_SKIP_CLIPPY:-0}" = "1" ]; then
     echo "== clippy skipped (XTK_SKIP_CLIPPY=1)"
 elif cargo clippy --version >/dev/null 2>&1; then

@@ -244,6 +244,17 @@ pub fn fingerprint(query: &Query, req: &QueryRequest) -> u64 {
     f.0
 }
 
+/// [`fingerprint`] salted with the executor's physical topology
+/// ([`Executor::topology_salt`]).  The batch pipeline keys its dedup map
+/// and result cache on this, so answers computed against one shard layout
+/// can never be served for another — re-sharding a corpus changes the
+/// salt even when the logical index generation does not move.
+pub fn fingerprint_salted(query: &Query, req: &QueryRequest, salt: u64) -> u64 {
+    let mut f = Fnv(fingerprint(query, req));
+    f.push(salt);
+    f.0
+}
+
 /// Recovers a poisoned guard: cache state is a plain map whose invariants
 /// hold between statements, so serving cached responses stays sound after
 /// a propagated panic on another thread.
@@ -254,6 +265,9 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Debug)]
 struct CacheEntry {
     generation: u64,
+    /// Topology salt the response was computed under; a lookup from a
+    /// differently-sharded executor must not alias onto this entry.
+    salt: u64,
     query: Query,
     request: QueryRequest,
     response: QueryResponse,
@@ -334,13 +348,14 @@ impl ResultCache {
         &self,
         fp: u64,
         generation: u64,
+        salt: u64,
         query: &Query,
         request: &QueryRequest,
     ) -> CacheOutcome {
         let mut inner = lock(&self.inner);
         let (matches, stale, stamp) = match inner.map.get(&fp) {
             Some(e) => (
-                e.query == *query && e.request == *request,
+                e.salt == salt && e.query == *query && e.request == *request,
                 e.generation != generation,
                 e.stamp,
             ),
@@ -376,6 +391,7 @@ impl ResultCache {
         &self,
         fp: u64,
         generation: u64,
+        salt: u64,
         query: Query,
         request: QueryRequest,
         response: QueryResponse,
@@ -383,7 +399,7 @@ impl ResultCache {
         let mut inner = lock(&self.inner);
         inner.clock += 1;
         let now = inner.clock;
-        let entry = CacheEntry { generation, query, request, response, stamp: now };
+        let entry = CacheEntry { generation, salt, query, request, response, stamp: now };
         if let Some(old) = inner.map.insert(fp, entry) {
             inner.lru.remove(&old.stamp);
         }
@@ -431,6 +447,7 @@ pub fn run_batch<E: Executor + Sync>(
 ) -> io::Result<BatchReport> {
     let obs = Obs { metrics: MetricsRegistry::new(), tracer: Tracer::for_level(opts.trace) };
     let generation = exec.generation();
+    let salt = exec.topology_salt();
 
     // Phase 1: canonicalize, fingerprint, dedup into classes.  Classes
     // are created in input order, so everything downstream is
@@ -440,7 +457,7 @@ pub fn run_batch<E: Executor + Sync>(
     let mut slot_class: Vec<usize> = Vec::with_capacity(items.len());
     for (i, item) in items.iter().enumerate() {
         let request = canonicalize(&item.request);
-        let fp = fingerprint(&item.query, &request);
+        let fp = fingerprint_salted(&item.query, &request, salt);
         let found = by_fp.get(&fp).and_then(|cands| {
             cands.iter().copied().find(|&ci| {
                 classes
@@ -475,7 +492,7 @@ pub fn run_batch<E: Executor + Sync>(
     let mut invalidations = 0u64;
     let mut todo: Vec<usize> = Vec::new();
     for (ci, class) in classes.iter_mut().enumerate() {
-        match cache.lookup(class.fp, generation, &class.query, &class.request) {
+        match cache.lookup(class.fp, generation, salt, &class.query, &class.request) {
             CacheOutcome::Hit(resp) => {
                 class.from_cache = true;
                 class.response = Some(*resp);
@@ -523,7 +540,14 @@ pub fn run_batch<E: Executor + Sync>(
     }
     for (&ci, response) in todo.iter().zip(executed) {
         if let Some(class) = classes.get_mut(ci) {
-            cache.store(class.fp, generation, class.query.clone(), class.request, response.clone());
+            cache.store(
+                class.fp,
+                generation,
+                salt,
+                class.query.clone(),
+                class.request,
+                response.clone(),
+            );
             class.response = Some(response);
         }
     }
@@ -690,6 +714,11 @@ mod tests {
         assert_ne!(fp1, fp2, "term order is significant (scoring order)");
         assert_ne!(fp1, fp3);
         assert_eq!(fp1, fingerprint(&query(&[1, 2]), &r), "stable");
+        // Topology salts separate otherwise identical requests.
+        let s0 = fingerprint_salted(&query(&[1, 2]), &r, 0);
+        let s1 = fingerprint_salted(&query(&[1, 2]), &r, 1);
+        assert_ne!(s0, s1);
+        assert_eq!(s1, fingerprint_salted(&query(&[1, 2]), &r, 1), "stable");
     }
 
     #[test]
@@ -699,20 +728,22 @@ mod tests {
         let (q1, q2, q3) = (query(&[1]), query(&[2]), query(&[3]));
         let (f1, f2, f3) =
             (fingerprint(&q1, &req), fingerprint(&q2, &req), fingerprint(&q3, &req));
-        cache.store(f1, 0, q1.clone(), req, respond_stub(1));
-        cache.store(f2, 0, q2.clone(), req, respond_stub(2));
-        match cache.lookup(f1, 0, &q1, &req) {
+        cache.store(f1, 0, 0, q1.clone(), req, respond_stub(1));
+        cache.store(f2, 0, 0, q2.clone(), req, respond_stub(2));
+        match cache.lookup(f1, 0, 0, &q1, &req) {
             CacheOutcome::Hit(r) => assert_eq!(r.metrics.get("stub.tag"), 1),
             _ => unreachable!("expected hit"), // lint-exempt: test code
         }
         // f2 is now LRU; storing f3 evicts it.
-        cache.store(f3, 0, q3.clone(), req, respond_stub(3));
+        cache.store(f3, 0, 0, q3.clone(), req, respond_stub(3));
         assert_eq!(cache.len(), 2);
-        assert!(matches!(cache.lookup(f2, 0, &q2, &req), CacheOutcome::Miss));
-        assert!(matches!(cache.lookup(f1, 0, &q1, &req), CacheOutcome::Hit(_)));
+        assert!(matches!(cache.lookup(f2, 0, 0, &q2, &req), CacheOutcome::Miss));
+        assert!(matches!(cache.lookup(f1, 0, 0, &q1, &req), CacheOutcome::Hit(_)));
+        // A lookup under a different topology salt must not alias.
+        assert!(matches!(cache.lookup(f1, 0, 7, &q1, &req), CacheOutcome::Miss));
         // Generation bump: entry dropped, reported stale.
-        assert!(matches!(cache.lookup(f1, 1, &q1, &req), CacheOutcome::Stale));
-        assert!(matches!(cache.lookup(f1, 1, &q1, &req), CacheOutcome::Miss));
+        assert!(matches!(cache.lookup(f1, 1, 0, &q1, &req), CacheOutcome::Stale));
+        assert!(matches!(cache.lookup(f1, 1, 0, &q1, &req), CacheOutcome::Miss));
         cache.clear();
         assert!(cache.is_empty());
     }

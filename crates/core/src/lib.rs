@@ -46,6 +46,10 @@
 //! * [`batch`] — batched serving: request dedup, a generation-stamped
 //!   result cache, cross-query prefetch pinning, and parallel execution
 //!   with input-order output ([`Engine::run_batch`]).
+//! * [`shard`] — sharded scatter-gather serving: a corpus partitioned
+//!   into per-document shards ([`write_sharded`]), queried through
+//!   [`ShardedEngine`] with a TA-style merge threshold that stops
+//!   gathering once no remaining shard can alter the top-K.
 
 pub mod baseline;
 pub mod batch;
@@ -60,6 +64,7 @@ pub mod query;
 pub mod request;
 pub mod result;
 pub mod semantics;
+pub mod shard;
 pub mod starjoin;
 pub mod topk;
 pub mod verify;
@@ -73,5 +78,6 @@ pub use request::{
     ScoreMode,
 };
 pub use result::ScoredResult;
+pub use shard::{write_sharded, ShardedEngine};
 pub use topk::{TopKOptions, TopKStream};
 pub use xtk_obs::{MetricsSnapshot, Trace, TraceLevel};

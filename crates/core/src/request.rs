@@ -207,11 +207,15 @@ pub struct QueryResponse {
     pub trace: Option<Trace>,
 }
 
-fn obs_for(req: &QueryRequest) -> Obs {
+pub(crate) fn obs_for(req: &QueryRequest) -> Obs {
     Obs { metrics: MetricsRegistry::new(), tracer: Tracer::for_level(req.trace) }
 }
 
-fn respond(obs: Obs, results: Vec<ScoredResult>, engine: ExecutedEngine) -> QueryResponse {
+pub(crate) fn respond(
+    obs: Obs,
+    results: Vec<ScoredResult>,
+    engine: ExecutedEngine,
+) -> QueryResponse {
     obs.metrics.add("query.results", results.len() as u64);
     QueryResponse {
         results,
@@ -357,6 +361,17 @@ pub trait Executor {
     fn release(&self, terms: &[TermId]) {
         let _ = terms;
     }
+
+    /// A salt describing the physical topology this backend answers from
+    /// (for [`ShardedEngine`](crate::shard::ShardedEngine): shard count,
+    /// ids and document ranges).  The batch result cache folds it into
+    /// request fingerprints and stamps entries with it, so re-sharding a
+    /// corpus invalidates cached answers even when the logical index
+    /// generation is unchanged.  Single-store backends are topology-free
+    /// and return 0.
+    fn topology_salt(&self) -> u64 {
+        0
+    }
 }
 
 /// Executors pass through shared references, so batch drivers can borrow.
@@ -375,6 +390,10 @@ impl<E: Executor + ?Sized> Executor for &E {
 
     fn release(&self, terms: &[TermId]) {
         (**self).release(terms)
+    }
+
+    fn topology_salt(&self) -> u64 {
+        (**self).topology_salt()
     }
 }
 

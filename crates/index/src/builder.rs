@@ -402,6 +402,29 @@ impl XmlIndex {
     pub fn node_at(&self, level: u16, number: u32) -> Option<NodeId> {
         self.jd.node_at(level, number)
     }
+
+    /// Replaces the occurrence scores of term `id` with `scores` (one per
+    /// posting, aligned with the posting list) and rebuilds the
+    /// score-derived structures: the top-K segment summaries and the RDIL
+    /// score permutation.  JDewey columns and level histograms depend only
+    /// on structure and are kept as-is.
+    ///
+    /// This is the hook `xtk-core::shard` uses to stamp *corpus-global*
+    /// tf-idf scores onto a per-shard index, so a result's score is
+    /// bit-identical no matter which shard computed it.  Returns `false`
+    /// (and changes nothing) when `id` is unknown or the length does not
+    /// match the posting list.
+    pub fn override_scores(&mut self, id: TermId, scores: Vec<f32>) -> bool {
+        let tree = &self.tree;
+        let Some(t) = self.terms.get_mut(id.0 as usize) else { return false };
+        if scores.len() != t.postings.len() {
+            return false;
+        }
+        t.segments = build_segments(tree, &t.postings, &scores);
+        t.score_rows = score_order(&scores);
+        t.scores = scores;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,10 @@
 //!   --top K     return the K best results (default: top 10)
 //!   --all       return the complete ranked result set
 //!   --slca      SLCA semantics instead of ELCA
+//!   --shards N  partition the corpus into N document shards (in a temp
+//!               directory) and serve scatter-gather with the TA merge
+//!               threshold; answers are bit-identical to --shards 1.
+//!               Join-based engines only (join/auto).
 //!   --engine E  answer with a specific engine (complete set: join, stack,
 //!               indexed; top-K: join [star join], auto [hybrid planner],
 //!               or rdil)
@@ -28,17 +32,19 @@
 //! ```
 
 use std::process::exit;
+use xtk::core::batch::run_batch;
 use xtk::core::engine::Engine;
 use xtk::core::joinbased::JoinOptions;
 use xtk::core::query::Semantics;
-use xtk::core::request::{QueryAlgorithm, QueryRequest};
-use xtk::core::{BatchItem, BatchOptions, TraceLevel};
+use xtk::core::request::{Executor, QueryAlgorithm, QueryRequest};
+use xtk::core::shard::{write_sharded, ShardedEngine};
+use xtk::core::{BatchItem, BatchOptions, ResultCache, TraceLevel};
 
 fn usage() -> ! {
     eprintln!(
         "usage: xtk <file.xml> <keywords…> [--top K] [--all] [--slca] \
-         [--engine join|stack|indexed|auto|rdil] [--batch FILE] [--explain] \
-         [--trace] [--stats]"
+         [--shards N] [--engine join|stack|indexed|auto|rdil] [--batch FILE] \
+         [--explain] [--trace] [--stats]"
     );
     exit(2);
 }
@@ -58,6 +64,7 @@ fn main() {
     let mut trace = false;
     let mut engine_name = "join".to_string();
     let mut batch_file: Option<String> = None;
+    let mut shards: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -77,6 +84,15 @@ fn main() {
             "--batch" => {
                 i += 1;
                 batch_file = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--shards" => {
+                i += 1;
+                shards = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                );
             }
             w if !w.starts_with("--") => keywords.push(w.to_string()),
             _ => usage(),
@@ -112,6 +128,39 @@ fn main() {
         );
     }
 
+    // --shards: materialize the sharded layout in a scratch directory and
+    // serve every query scatter-gather through it.
+    let shard_dir = shards.map(|n| {
+        let dir = std::env::temp_dir().join(format!("xtk_cli_shards_{}", std::process::id()));
+        match write_sharded(engine.index(), &dir, n) {
+            Ok(written) => {
+                if stats {
+                    eprintln!("sharded into {written} shard(s) at {}", dir.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("xtk: cannot shard corpus: {e}");
+                exit(1);
+            }
+        }
+        dir
+    });
+    let cleanup = || {
+        if let Some(dir) = &shard_dir {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    };
+    let sharded = shard_dir.as_ref().map(|dir| {
+        match ShardedEngine::open(engine.index(), dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtk: cannot open sharded corpus: {e}");
+                std::fs::remove_dir_all(dir).ok();
+                exit(1);
+            }
+        }
+    });
+
     if let Some(batch_path) = &batch_file {
         let text = match std::fs::read_to_string(batch_path) {
             Ok(t) => t,
@@ -145,7 +194,20 @@ fn main() {
             }
         }
         let t0 = std::time::Instant::now();
-        let report = engine.run_batch_report(&items, &BatchOptions::default());
+        let report = match &sharded {
+            Some(s) => {
+                let cache = ResultCache::default();
+                match run_batch(s, &cache, &BatchOptions::default(), &items) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("xtk: sharded batch failed: {e}");
+                        cleanup();
+                        exit(1);
+                    }
+                }
+            }
+            None => engine.run_batch_report(&items, &BatchOptions::default()),
+        };
         let elapsed = t0.elapsed();
         for (line, resp) in lines.iter().zip(&report.responses) {
             println!("## {line}");
@@ -157,6 +219,7 @@ fn main() {
             eprintln!("{} quer(ies) in {:.2?}", items.len(), elapsed);
             eprintln!("{}", report.metrics.to_json());
         }
+        cleanup();
         return;
     }
 
@@ -172,17 +235,30 @@ fn main() {
     if explain {
         let report = engine.explain(&query, &JoinOptions { semantics, ..Default::default() });
         print!("{report}");
+        cleanup();
         return;
     }
 
-    let algorithm = match (all, engine_name.as_str()) {
-        (true, "join") => QueryAlgorithm::JoinBased,
-        (true, "stack") => QueryAlgorithm::StackBased,
-        (true, "indexed") => QueryAlgorithm::IndexBased,
-        (false, "join") => QueryAlgorithm::TopKJoin,
-        (false, "auto") => QueryAlgorithm::Auto,
-        (false, "rdil") => QueryAlgorithm::Rdil,
-        _ => usage(),
+    let algorithm = if sharded.is_some() {
+        // The scatter-gather merge is join-based; other engine names
+        // cannot honor --shards.
+        match engine_name.as_str() {
+            "join" | "auto" => QueryAlgorithm::JoinBased,
+            _ => {
+                cleanup();
+                usage()
+            }
+        }
+    } else {
+        match (all, engine_name.as_str()) {
+            (true, "join") => QueryAlgorithm::JoinBased,
+            (true, "stack") => QueryAlgorithm::StackBased,
+            (true, "indexed") => QueryAlgorithm::IndexBased,
+            (false, "join") => QueryAlgorithm::TopKJoin,
+            (false, "auto") => QueryAlgorithm::Auto,
+            (false, "rdil") => QueryAlgorithm::Rdil,
+            _ => usage(),
+        }
     };
     let mut req = if all {
         QueryRequest::complete(semantics)
@@ -195,7 +271,17 @@ fn main() {
     }
 
     let t0 = std::time::Instant::now();
-    let resp = engine.run(&query, &req);
+    let resp = match &sharded {
+        Some(s) => match s.execute(&query, &req) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xtk: sharded query failed: {e}");
+                cleanup();
+                exit(1);
+            }
+        },
+        None => engine.run(&query, &req),
+    };
     let elapsed = t0.elapsed();
 
     for (rank, r) in resp.results.iter().enumerate() {
@@ -208,4 +294,5 @@ fn main() {
         eprintln!("{} result(s) in {:.2?} via {:?}", resp.results.len(), elapsed, resp.engine);
         eprintln!("{}", resp.metrics.to_json());
     }
+    cleanup();
 }
