@@ -9,12 +9,36 @@ cd "$(dirname "$0")"
 echo "== cargo build --release --offline"
 cargo build --release --offline --workspace
 
-echo "== cargo run -q -p xtk-lint (panic/determinism ratchet)"
+echo "== cargo run -q -p xtk-lint (panic/determinism ratchet + interprocedural passes)"
 # Unconditional: xtk-lint is a workspace crate with no external deps, so
 # there is no environment where this step may be skipped.  It enforces
-# the lint-baseline.json ratchet plus the hard rules (hash-order output,
-# float ==, wall-clock in query paths, forbid(unsafe_code)).
-cargo run -q --offline -p xtk-lint
+# the lint-baseline.json ratchets (L1 per file, L6 per query entry
+# point), the hard rules (hash-order output, float ==, wall-clock in
+# query paths, forbid(unsafe_code)), the L7 lock-order gate and the L8
+# hot-loop allocation gate.  The output is captured to a file (not a
+# pipe: plain sh has no pipefail) so the one-line L6 ratchet delta can
+# be asserted on and still land in the CI log.
+lint_out=/tmp/xtk-lint-out.txt
+if ! cargo run -q --offline -p xtk-lint >"$lint_out" 2>&1; then
+    cat "$lint_out" >&2
+    exit 1
+fi
+cat "$lint_out"
+grep "L6 ratchet" "$lint_out" >/dev/null || {
+    echo "ERROR: xtk-lint did not report the L6 ratchet delta" >&2; exit 1; }
+
+echo "== lint-report.json: schema + L7 acyclicity check"
+# The machine-readable report must exist, carry every section of the
+# stable schema, and record zero lock-order cycles (the binary already
+# hard-fails on cycles; this guards against the report going stale or
+# the schema drifting under a consumer).
+test -s lint-report.json || { echo "ERROR: lint-report.json missing" >&2; exit 1; }
+for key in '"version"' '"l1"' '"hard"' '"l6"' '"l7"' '"l8"' '"l9"'; do
+    grep -q "$key" lint-report.json || {
+        echo "ERROR: lint-report.json lacks the $key section" >&2; exit 1; }
+done
+grep -q '"cycles": \[\]' lint-report.json || {
+    echo "ERROR: lint-report.json records L7 lock-order cycles" >&2; exit 1; }
 
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace

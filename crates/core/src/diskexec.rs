@@ -27,7 +27,7 @@ use crate::query::Query;
 use crate::result::ScoredResult;
 use std::io;
 use xtk_index::columnar::{gallop_lower_bound, Run};
-use xtk_index::diskcol::DiskColumnStore;
+use xtk_index::diskcol::{DiskColumn, DiskColumnStore};
 use xtk_index::{TermData, TermId, XmlIndex};
 use xtk_obs::{EventKind, JoinStrategy, Obs};
 
@@ -83,6 +83,11 @@ pub fn join_search_disk_obs(
     let term_of = |i: usize| query.terms.get(i).map(|t| t.0).unwrap_or(u32::MAX);
     let mut erasers: Vec<Eraser> = (0..k).map(|_| Eraser::new()).collect();
     let mut results = Vec::new();
+    // Per-level scratch, hoisted out of the level loop: `cols` holds the
+    // k column handles, `order` the left-deep join order (same index set
+    // every level, only the sort key changes).
+    let mut cols: Vec<DiskColumn<'_>> = Vec::with_capacity(k);
+    let mut order: Vec<usize> = (0..k).collect();
 
     for l in (1..=l0).rev() {
         stats.levels += 1;
@@ -90,13 +95,12 @@ pub fn join_search_disk_obs(
         let results_before = stats.results;
         // `l <= l0 <= levels_of(term)` for every term, so each lookup
         // succeeds; the guard only defends against an inconsistent store.
-        let cols: Vec<_> =
-            terms.iter().filter_map(|t| store.column(&t.term, l)).collect();
+        cols.clear();
+        cols.extend(terms.iter().filter_map(|t| store.column(&t.term, l)));
         if cols.len() != k {
             continue;
         }
         // Left-deep from the smallest column (by present-row count).
-        let mut order: Vec<usize> = (0..k).collect();
         order.sort_by_key(|&i| cols.get(i).map_or(usize::MAX, |c| c.row_count()));
         let (Some(&first_kw), Some(driver)) =
             (order.first(), order.first().and_then(|&i| cols.get(i)))
@@ -115,12 +119,14 @@ pub fn join_search_disk_obs(
         let mut matched: Vec<(u32, Vec<Run>)> = driver_runs
             .iter()
             .map(|r| {
+                // lint:allow(L8, the k-sized run table is the per-candidate match payload itself)
                 let mut per_kw = vec![Run { value: 0, start: 0, len: 0 }; k];
                 if let Some(slot) = per_kw.get_mut(first_kw) {
                     *slot = *r;
                 }
                 (r.value, per_kw)
             })
+            // lint:allow(L8, per-level intermediate is consumed by ownership through the join pipeline)
             .collect();
 
         for &i in order.get(1..).unwrap_or(&[]) {

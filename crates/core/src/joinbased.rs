@@ -154,16 +154,20 @@ pub fn join_search_obs(
     // match loop used to allocate a fresh `Vec<Run>` per joined value,
     // which dominated allocator traffic on large levels.
     let mut run_scratch: Vec<Run> = Vec::with_capacity(k);
+    // Reused per level: the k column references for the current level.
+    let mut cols: Vec<&Column> = Vec::with_capacity(k);
 
     let workers = opts.parallelism.workers();
     for l in (1..=l0).rev() {
         stats.levels += 1;
         let matches_before = stats.matches;
         let results_before = stats.results;
-        let cols: Vec<&Column> = terms
-            .iter()
-            .filter_map(|t| (l as usize).checked_sub(1).and_then(|i| t.columns.get(i)))
-            .collect();
+        cols.clear();
+        cols.extend(
+            terms
+                .iter()
+                .filter_map(|t| (l as usize).checked_sub(1).and_then(|i| t.columns.get(i))),
+        );
         if cols.len() != k {
             continue; // unreachable: every list reaches level l <= l0
         }
@@ -426,6 +430,7 @@ fn joined_values_obs(
                             hint = lb;
                             hit.is_some()
                         })
+                        // lint:allow(L8, per-chunk output Vec is owned by the pool worker and concatenated once)
                         .collect()
                 } else {
                     intersect(chunk, col)

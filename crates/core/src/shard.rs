@@ -197,6 +197,7 @@ pub fn write_sharded(ix: &XmlIndex, dir: &Path, shards: usize) -> io::Result<usi
             &sdir.join(STORE_FILE),
             WriteIndexOptions { include_scores: true, ..Default::default() },
         )?;
+        // lint:allow(L8, build-time manifest line per shard; write_sharded is not on the query path)
         manifest.push_str(&format!(
             "shard {id} {} {} {} {}\n",
             part.start,
@@ -622,22 +623,24 @@ impl Executor for ShardedEngine<'_> {
 
     fn prefetch(&self, terms: &[TermId]) -> io::Result<u64> {
         let mut pinned = 0u64;
+        let mut local: Vec<TermId> = Vec::with_capacity(terms.len());
         for shard in &self.shards {
-            let local: Vec<TermId> = terms
-                .iter()
-                .filter_map(|&t| self.word(t).and_then(|w| shard.ix.term_id(w)))
-                .collect();
+            local.clear();
+            local.extend(
+                terms.iter().filter_map(|&t| self.word(t).and_then(|w| shard.ix.term_id(w))),
+            );
             pinned += prefetch_terms(&shard.ix, &shard.store, &local)?;
         }
         Ok(pinned)
     }
 
     fn release(&self, terms: &[TermId]) {
+        let mut local: Vec<TermId> = Vec::with_capacity(terms.len());
         for shard in &self.shards {
-            let local: Vec<TermId> = terms
-                .iter()
-                .filter_map(|&t| self.word(t).and_then(|w| shard.ix.term_id(w)))
-                .collect();
+            local.clear();
+            local.extend(
+                terms.iter().filter_map(|&t| self.word(t).and_then(|w| shard.ix.term_id(w))),
+            );
             release_terms(&shard.ix, &shard.store, &local);
         }
     }

@@ -393,15 +393,20 @@ impl<'a> TopKStream<'a> {
     /// segment merging, erasure skipping and `value_of_row` scoring — run
     /// on the pool when more than one keyword needs one.
     fn ensure_heads(&mut self) {
+        // Reused across refill passes so a multi-pass refill (heads kept
+        // getting erased under us) allocates the worklist only once.
+        let mut needy: Vec<usize> = Vec::with_capacity(self.terms.len());
         loop {
             for (b, e) in self.batches.iter_mut().zip(&self.erasers) {
                 while b.front().is_some_and(|&(row, _, _)| e.is_erased(row)) {
                     b.pop_front();
                 }
             }
-            let needy: Vec<usize> = (0..self.terms.len())
-                .filter(|&i| self.batches[i].is_empty() && !self.exhausted[i])
-                .collect();
+            needy.clear();
+            needy.extend(
+                (0..self.terms.len())
+                    .filter(|&i| self.batches[i].is_empty() && !self.exhausted[i]),
+            );
             if needy.is_empty() {
                 return;
             }
@@ -416,6 +421,7 @@ impl<'a> TopKStream<'a> {
                     self.obs.metrics.add("pool.refill_tasks", needy.len() as u64);
                     parallel_map(self.parallelism, &needy, |_, &i| refill(i))
                 } else {
+                    // lint:allow(L8, one refill-output Vec per phase, bounded by keyword count; parallel_map returns owned results anyway)
                     needy.iter().map(|&i| refill(i)).collect()
                 };
             for (&i, (rows, pos)) in needy.iter().zip(drained) {

@@ -245,7 +245,7 @@ impl ShardedLruCache {
         h ^= h >> 33;
         h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
         h ^= h >> 33;
-        let i = (h as usize) % self.shards.len();
+        let i = (h as usize).checked_rem(self.shards.len()).unwrap_or(0);
         // Index is in range by construction; fall back to the first
         // shard rather than panicking if the modulus were ever wrong.
         self.shards.get(i).unwrap_or_else(|| &self.shards[0]) // lint:allow(index)

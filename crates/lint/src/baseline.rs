@@ -17,6 +17,21 @@
 //! Files with `[0, 0]` are omitted; a missing entry means zero is the
 //! budget.  The gate fails only when a file *exceeds* its budget, so the
 //! count can only stay flat or go down — a ratchet.
+//!
+//! Version 2 adds the L6 interprocedural ratchet: an `"entry_points"`
+//! map from qualified entry names to the number of *transitively
+//! reachable* panic sites on that entry's call graph:
+//!
+//! ```json
+//! {
+//!   "version": 2,
+//!   "files": { "crates/core/src/topk.rs": [0, 12] },
+//!   "entry_points": { "xtk_core::Engine::run": 3 }
+//! }
+//! ```
+//!
+//! Version-1 files (no `entry_points`) still parse; every entry point
+//! then has a zero budget.
 
 use std::collections::BTreeMap;
 
@@ -26,6 +41,8 @@ pub struct Baseline {
     pub version: u32,
     /// path → (panic_sites, index_sites); sorted for stable serialization.
     pub files: BTreeMap<String, (u32, u32)>,
+    /// qualified entry fn → reachable panic-site budget (L6, version ≥ 2).
+    pub entry_points: BTreeMap<String, u32>,
 }
 
 impl Baseline {
@@ -65,7 +82,31 @@ impl Baseline {
         if last > 0 {
             s.push_str("\n  ");
         }
-        s.push_str("}\n}\n");
+        s.push('}');
+        if self.version >= 2 {
+            s.push_str(",\n  \"entry_points\": {");
+            let last = self.entry_points.len();
+            for (i, (name, n)) in self.entry_points.iter().enumerate() {
+                s.push_str("\n    \"");
+                for c in name.chars() {
+                    match c {
+                        '"' => s.push_str("\\\""),
+                        '\\' => s.push_str("\\\\"),
+                        _ => s.push(c),
+                    }
+                }
+                s.push_str("\": ");
+                s.push_str(&n.to_string());
+                if i + 1 < last {
+                    s.push(',');
+                }
+            }
+            if last > 0 {
+                s.push_str("\n  ");
+            }
+            s.push('}');
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -106,6 +147,24 @@ impl Baseline {
                         }
                     }
                 }
+                "entry_points" => {
+                    p.eat(b'{')?;
+                    loop {
+                        p.ws();
+                        if p.peek() == Some(b'}') {
+                            p.pos += 1;
+                            break;
+                        }
+                        let name = p.string()?;
+                        p.eat(b':')?;
+                        let n = p.number()?;
+                        out.entry_points.insert(name, n);
+                        p.ws();
+                        if p.peek() == Some(b',') {
+                            p.pos += 1;
+                        }
+                    }
+                }
                 other => return Err(format!("unknown key `{other}` in lint-baseline.json")),
             }
             p.ws();
@@ -113,9 +172,9 @@ impl Baseline {
                 p.pos += 1;
             }
         }
-        if out.version != 1 {
+        if out.version != 1 && out.version != 2 {
             return Err(format!(
-                "unsupported lint-baseline.json version {} (expected 1)",
+                "unsupported lint-baseline.json version {} (expected 1 or 2)",
                 out.version
             ));
         }
@@ -233,7 +292,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Baseline {
-        let mut b = Baseline { version: 1, files: BTreeMap::new() };
+        let mut b = Baseline { version: 1, ..Baseline::default() };
         b.files.insert("crates/core/src/topk.rs".to_string(), (2, 7));
         b.files.insert("crates/xml/src/parser.rs".to_string(), (0, 3));
         b
@@ -250,14 +309,39 @@ mod tests {
 
     #[test]
     fn empty_roundtrip() {
-        let b = Baseline { version: 1, files: BTreeMap::new() };
+        let b = Baseline { version: 1, ..Baseline::default() };
         assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn v2_roundtrip_with_entry_points() {
+        let mut b = Baseline { version: 2, ..Baseline::default() };
+        b.files.insert("crates/core/src/topk.rs".to_string(), (0, 8));
+        b.entry_points.insert("xtk_core::Engine::run".to_string(), 3);
+        b.entry_points.insert("xtk_core::ShardedEngine::execute".to_string(), 0);
+        let json = b.to_json();
+        assert!(json.contains("\"entry_points\""));
+        assert_eq!(Baseline::parse(&json).unwrap(), b);
+    }
+
+    #[test]
+    fn v2_empty_entry_points_roundtrip() {
+        let b = Baseline { version: 2, ..Baseline::default() };
+        assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn v1_file_parses_with_zero_entry_budgets() {
+        let parsed =
+            Baseline::parse("{\"version\": 1, \"files\": {\"a.rs\": [1, 2]}}").unwrap();
+        assert!(parsed.entry_points.is_empty());
+        assert_eq!(parsed.files.get("a.rs"), Some(&(1, 2)));
     }
 
     #[test]
     fn parse_rejects_garbage() {
         assert!(Baseline::parse("").is_err());
-        assert!(Baseline::parse("{\"version\": 2, \"files\": {}}").is_err());
+        assert!(Baseline::parse("{\"version\": 3, \"files\": {}}").is_err());
         assert!(Baseline::parse("{\"surprise\": 1}").is_err());
         assert!(Baseline::parse("{\"version\": 1, \"files\": {\"a\": [1]}}").is_err());
     }

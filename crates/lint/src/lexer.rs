@@ -39,14 +39,18 @@ pub struct Token {
     pub line: u32,
 }
 
-/// A `lint:allow(rule)` directive harvested from a comment.
+/// A `lint:allow(rule)` / `lint:allow(rule, reason)` directive harvested
+/// from a comment.
 #[derive(Debug, Clone)]
 pub struct Allow {
     /// 1-based line the directive appears on (suppresses findings on this
     /// line and the next).
     pub line: u32,
-    /// The rule name inside the parentheses (e.g. `hash-iter`).
+    /// The rule name inside the parentheses (e.g. `hash-iter`, `L8`).
     pub rule: String,
+    /// Everything after the first comma, trimmed.  Rules that demand a
+    /// justification (L8) reject a suppression whose reason is empty.
+    pub reason: Option<String>,
 }
 
 /// The result of lexing one source file.
@@ -69,9 +73,15 @@ impl Lexed {
     /// cover their own line and the line directly below, so a comment can
     /// sit above the code it suppresses.
     pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        self.allow_for(line, rule).is_some()
+    }
+
+    /// The directive covering `line` for `rule`, if any — for rules that
+    /// inspect the suppression's reason.
+    pub fn allow_for(&self, line: u32, rule: &str) -> Option<&Allow> {
         self.allows
             .iter()
-            .any(|a| (a.line == line || a.line + 1 == line) && (a.rule == rule || a.rule == "all"))
+            .find(|a| (a.line == line || a.line + 1 == line) && (a.rule == rule || a.rule == "all"))
     }
 }
 
@@ -204,16 +214,24 @@ impl<'a> Lexer<'a> {
         self.harvest_allow(start, self.pos, line);
     }
 
-    /// Records `lint:allow(rule)` directives found inside a comment span.
+    /// Records `lint:allow(rule)` / `lint:allow(rule, reason)` directives
+    /// found inside a comment span.
     fn harvest_allow(&mut self, start: usize, end: usize, line: u32) {
         let Some(comment) = self.text.get(start..end) else { return };
         let mut rest = comment;
         while let Some(i) = rest.find("lint:allow(") {
             let Some(after) = rest.get(i + "lint:allow(".len()..) else { break };
             let Some(j) = after.find(')') else { break };
-            let rule = after.get(..j).unwrap_or("").trim().to_string();
+            let body = after.get(..j).unwrap_or("");
+            let (rule, reason) = match body.split_once(',') {
+                Some((r, why)) => {
+                    let why = why.trim();
+                    (r.trim(), (!why.is_empty()).then(|| why.to_string()))
+                }
+                None => (body.trim(), None),
+            };
             if !rule.is_empty() {
-                self.out.allows.push(Allow { line, rule });
+                self.out.allows.push(Allow { line, rule: rule.to_string(), reason });
             }
             rest = after.get(j + 1..).unwrap_or("");
         }
@@ -316,13 +334,17 @@ impl<'a> Lexer<'a> {
     /// closing quote.
     fn char_body(&mut self) {
         if self.peek(0) == Some(b'\\') {
+            // The escape head may itself be a quote (`'\''`) — consume the
+            // backslash and one byte unconditionally, then fall through to
+            // the quote scan so multi-byte escapes (`\x41`, `\u{10FFFF}`)
+            // stay inside the literal instead of leaking as tokens.
             self.bump();
             self.bump();
-        } else {
-            // A char may be multi-byte UTF-8; consume until the quote.
-            while matches!(self.peek(0), Some(c) if c != b'\'') {
-                self.bump();
-            }
+        }
+        // A char may be multi-byte UTF-8 (or a multi-byte escape payload);
+        // consume until the closing quote.
+        while matches!(self.peek(0), Some(c) if c != b'\'' && c != b'\n') {
+            self.bump();
         }
         if self.peek(0) == Some(b'\'') {
             self.bump();
@@ -488,6 +510,73 @@ mod tests {
     fn nested_block_comments() {
         let l = lex("a /* x /* y */ z */ b");
         assert_eq!(l.tokens.len(), 2);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        // Depth changes interleaved with near-miss `*/` and `/*` runs.
+        let l = lex("a /* 1 /* 2 /* 3 */ 2 */ 1 */ b\nc /*/ still open */ d");
+        let texts: Vec<TokKind> = kinds("a b c d");
+        assert_eq!(l.tokens.iter().map(|t| t.kind).collect::<Vec<_>>(), texts);
+        // Line numbers keep advancing inside multi-line comments.
+        let l = lex("/* line1\nline2\nline3 */ x");
+        assert_eq!(l.tokens.first().map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes() {
+        // The closing delimiter must match the exact hash count; shorter
+        // runs inside the body do not terminate the literal.
+        let src = r####"let a = r##"body with "# and "quotes" inside"##;"####;
+        let l = lex(src);
+        let strs: Vec<&str> =
+            (0..l.tokens.len()).filter(|&i| l.tokens[i].kind == TokKind::StrLike).map(|i| l.text(src, i)).collect();
+        assert_eq!(strs, vec![r####"r##"body with "# and "quotes" inside"##"####]);
+        // A raw string never processes backslash escapes: `\` before the
+        // closing delimiter must not extend the literal.
+        let src2 = r##"r#"ends in backslash\"# + x"##;
+        let l2 = lex(src2);
+        assert!((0..l2.tokens.len()).any(|i| l2.text(src2, i) == "x"), "{:?}", l2.tokens);
+        // Extra hashes after the close are ordinary punctuation.
+        let src3 = r###"r#"a"## b"###;
+        let l3 = lex(src3);
+        assert!((0..l3.tokens.len()).any(|i| l3.text(src3, i) == "b"));
+        assert!(l3.tokens.iter().any(|t| t.kind == TokKind::Punct(b'#')));
+    }
+
+    #[test]
+    fn byte_and_char_literals_with_escapes() {
+        // `b'\x00'` and `'\u{1F600}'` are single literals; the escape
+        // payload must not leak out as number/brace tokens.
+        for src in ["b'\\x00'", "'\\x7f'", "'\\u{1F600}'", "b'\\''", "'\\\\'"] {
+            let l = lex(src);
+            assert_eq!(l.tokens.len(), 1, "{src:?} -> {:?}", l.tokens);
+            assert_eq!(l.tokens.first().map(|t| t.kind), Some(TokKind::StrLike), "{src:?}");
+        }
+        // Mixed into an expression: the following tokens survive intact.
+        let src = "f(b'\\x1b', '\\u{41}', q)";
+        let l = lex(src);
+        let texts: Vec<&str> = (0..l.tokens.len()).map(|i| l.text(src, i)).collect();
+        assert!(texts.contains(&"q"), "{texts:?}");
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::StrLike).count(), 2);
+        // Byte strings with escaped quotes and hex escapes stay one token.
+        let src2 = r#"g(b"a\"b\x00", h)"#;
+        let l2 = lex(src2);
+        assert_eq!(l2.tokens.iter().filter(|t| t.kind == TokKind::StrLike).count(), 1);
+        assert!((0..l2.tokens.len()).any(|i| l2.text(src2, i) == "h"));
+    }
+
+    #[test]
+    fn allow_with_reason() {
+        let src = "// lint:allow(L8, scratch reused across rounds)\nx\n// lint:allow(panic)\ny";
+        let l = lex(src);
+        assert!(l.allowed(2, "L8"));
+        let a = l.allow_for(2, "L8").expect("directive");
+        assert_eq!(a.reason.as_deref(), Some("scratch reused across rounds"));
+        assert!(l.allow_for(4, "panic").is_some_and(|a| a.reason.is_none()));
+        // Empty reason after a comma is treated as no reason.
+        let l2 = lex("// lint:allow(L8, )\nz");
+        assert!(l2.allow_for(2, "L8").is_some_and(|a| a.reason.is_none()));
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! See DESIGN.md §7 for the full rule catalogue.
 
 pub mod baseline;
+pub mod graph;
+pub mod hotloop;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
+pub mod reach;
+pub mod report;
 pub mod rules;
 pub mod walk;
