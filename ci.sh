@@ -77,6 +77,17 @@ echo "== bench smoke: sharded scatter-gather vs committed baseline"
 # intentional change with:  shard_bench --check BENCH_shard.json --update
 cargo run -q --offline --release -p xtk-bench --bin shard_bench -- --check BENCH_shard.json
 
+echo "== bench smoke: block decode vs committed baseline"
+# Times cold column decodes in the varint (v2) and bit-packed (v3) block
+# layouts; the run itself asserts that both layouts reproduce the
+# in-memory runs bit for bit and that packed delta lanes decode >=1.5x
+# faster than varints.  The --check compares the deterministic counters
+# (payload bytes, cold decode counts, file sizes) with a 20 % ratchet;
+# timings are recorded in the trajectory but never compared.  Refresh
+# after an intentional change with:
+#   decode_bench --check BENCH_decode.json --update
+cargo run -q --offline --release -p xtk-bench --bin decode_bench -- --check BENCH_decode.json
+
 if [ "${XTK_SKIP_CLIPPY:-0}" = "1" ]; then
     echo "== clippy skipped (XTK_SKIP_CLIPPY=1)"
 elif cargo clippy --version >/dev/null 2>&1; then

@@ -27,7 +27,7 @@ use crate::query::Query;
 use crate::result::ScoredResult;
 use std::io;
 use xtk_index::columnar::{gallop_lower_bound, Run};
-use xtk_index::diskcol::{DiskColumn, DiskColumnStore};
+use xtk_index::diskcol::{DiskColumn, DiskColumnStore, IoSession};
 use xtk_index::{TermData, TermId, XmlIndex};
 use xtk_obs::{EventKind, JoinStrategy, Obs};
 
@@ -70,7 +70,12 @@ pub fn join_search_disk_obs(
     opts: &JoinOptions,
     obs: &Obs,
 ) -> io::Result<(Vec<ScoredResult>, JoinStats, u64)> {
-    let io_before = store.io_stats();
+    // Session-scoped I/O accounting: only accesses made through THIS
+    // query's column handles count toward its `store.*` metrics, so
+    // concurrent queries on a shared store (a parallel batch) cannot
+    // inflate each other's deltas the way a global before/after counter
+    // read would.
+    let io_session = IoSession::default();
     let mut stats = JoinStats::default();
     let terms: Vec<&TermData> = query.terms.iter().map(|&t| ix.term(t)).collect();
     let k = terms.len();
@@ -96,7 +101,12 @@ pub fn join_search_disk_obs(
         // `l <= l0 <= levels_of(term)` for every term, so each lookup
         // succeeds; the guard only defends against an inconsistent store.
         cols.clear();
-        cols.extend(terms.iter().filter_map(|t| store.column(&t.term, l)));
+        cols.extend(
+            terms
+                .iter()
+                .filter_map(|t| store.column(&t.term, l))
+                .map(|c| c.scoped(&io_session)),
+        );
         if cols.len() != k {
             continue;
         }
@@ -257,7 +267,7 @@ pub fn join_search_disk_obs(
             results: stats.results - results_before,
         });
     }
-    let io = store.io_stats().since(&io_before);
+    let io = io_session.stats();
     obs.event(EventKind::StoreIo { store: store.store_id() as u32, decodes: io.decodes });
     obs.event(EventKind::QueryEnd { results: stats.results });
     publish_join_stats(&stats, obs);

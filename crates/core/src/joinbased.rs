@@ -50,12 +50,48 @@ const PAR_MATCH_MIN: usize = 48;
 /// Below this many probe values an intersection step runs serially.
 const PAR_JOIN_MIN: usize = 2048;
 
-/// Galloping pays off when the scanned side is much longer than the probe
-/// side: each probe then skips ~runs/values entries, and the exponential
-/// search finds the next candidate in O(log skip) instead of O(skip).
-/// Below this runs-to-values ratio the plain two-pointer merge wins (its
-/// per-step cost is a compare + increment, no bracketing overhead).
-const GALLOP_RATIO: usize = 8;
+/// Adaptive merge-vs-gallop chooser, derived from the per-level
+/// cardinalities the `JoinStep` trace events record (probe values vs
+/// column runs).
+///
+/// Galloping pays off when the scanned side is much longer than the
+/// probe side: each probe skips `skip = runs / values` entries on
+/// average, and the exponential bracket + binary search finds the next
+/// candidate in about `2·(⌊log₂ skip⌋ + 1)` comparisons.  The
+/// two-pointer merge walks both inputs once for about `runs + values`
+/// comparisons total.  Gallop is chosen exactly when its modeled cost is
+/// lower:
+///
+/// ```text
+/// 2 · values · (⌊log₂ skip⌋ + 1)  <  runs + values      (skip ≥ 2)
+/// ```
+///
+/// At `skip = 8` this reproduces the fixed `GALLOP_RATIO = 8` crossover
+/// the chooser used before (8·m model cost vs 9·m merge cost); away
+/// from that point it adapts — a 100×-longer column gallops even with a
+/// mid-sized probe list, and near-equal cardinalities always merge.
+/// Strategy choice never affects results, only cost — the differential
+/// tests pin that.
+///
+/// `⌊log₂ skip⌋` is found by doubling (`m·2^k ≤ runs`) rather than by
+/// dividing, keeping this hot module free of division panic sites; the
+/// identity `2^k ≤ ⌊runs/m⌋ ⟺ m·2^k ≤ runs` makes the two forms exact
+/// equals.
+pub fn use_gallop(values: usize, runs: usize) -> bool {
+    let m = values.max(1) as u64;
+    let runs64 = runs as u64;
+    // skip < 2, i.e. runs/m < 2.
+    if runs64 < m.saturating_mul(2) {
+        return false;
+    }
+    // log = ⌊log₂(runs/m)⌋, at least 1 here.
+    let mut log = 1u64;
+    while log < 62 && m.saturating_mul(1 << (log + 1)) <= runs64 {
+        log += 1;
+    }
+    let gallop_cost = m.saturating_mul(2).saturating_mul(log + 1);
+    gallop_cost < runs64 + values as u64
+}
 
 /// Join-plan selection for the per-level joins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -398,7 +434,7 @@ fn joined_values_obs(
         };
         let strategy = if use_index {
             JoinStrategy::IndexProbe
-        } else if col.runs.len() >= GALLOP_RATIO * values.len().max(1) {
+        } else if use_gallop(values.len(), col.runs.len()) {
             JoinStrategy::Gallop
         } else {
             JoinStrategy::Merge
@@ -462,9 +498,9 @@ fn joined_values_obs(
 }
 
 /// Intersection of a sorted value list with a column, picking linear vs
-/// galloping from the cardinality ratio (see [`GALLOP_RATIO`]).
+/// galloping adaptively from the cardinalities (see [`use_gallop`]).
 pub fn intersect(values: &[u32], col: &Column) -> Vec<u32> {
-    if col.runs.len() >= GALLOP_RATIO * values.len().max(1) {
+    if use_gallop(values.len(), col.runs.len()) {
         gallop_intersect(values, col)
     } else {
         merge_intersect(values, col)

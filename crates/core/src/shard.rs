@@ -179,6 +179,29 @@ fn build_shard_index(ix: &XmlIndex, docs: &Range<usize>) -> io::Result<(XmlIndex
 /// document; an empty corpus gets a single empty shard.  Returns the
 /// number of shards written.
 pub fn write_sharded(ix: &XmlIndex, dir: &Path, shards: usize) -> io::Result<usize> {
+    write_sharded_with(
+        ix,
+        dir,
+        shards,
+        WriteIndexOptions { include_scores: true, ..Default::default() },
+    )
+}
+
+/// [`write_sharded`] with explicit [`WriteIndexOptions`] applied to every
+/// shard store — chiefly to pick the on-disk [`FormatVersion`] (varint v2
+/// vs bit-packed v3 block lanes).  The manifest does not record the
+/// format; each shard file carries its own magic, so mixed-format
+/// directories open fine and the answers are layout-invariant.  Ranked
+/// serving needs `include_scores: true`; writing without scores produces
+/// a store the [`ShardedEngine`] will reject at query time.
+///
+/// [`FormatVersion`]: xtk_index::disk::FormatVersion
+pub fn write_sharded_with(
+    ix: &XmlIndex,
+    dir: &Path,
+    shards: usize,
+    options: WriteIndexOptions,
+) -> io::Result<usize> {
     let docs = doc_roots(ix).len();
     let parts = doc_partition(docs, shards);
     std::fs::create_dir_all(dir)?;
@@ -192,11 +215,7 @@ pub fn write_sharded(ix: &XmlIndex, dir: &Path, shards: usize) -> io::Result<usi
         let (six, _offset) = build_shard_index(ix, part)?;
         let sdir = dir.join(shard_dir_name(id as u32));
         std::fs::create_dir_all(&sdir)?;
-        write_index(
-            &six,
-            &sdir.join(STORE_FILE),
-            WriteIndexOptions { include_scores: true, ..Default::default() },
-        )?;
+        write_index(&six, &sdir.join(STORE_FILE), options)?;
         // lint:allow(L8, build-time manifest line per shard; write_sharded is not on the query path)
         manifest.push_str(&format!(
             "shard {id} {} {} {} {}\n",

@@ -5,7 +5,7 @@
 //! must agree with its un-hinted counterpart under arbitrary (stale,
 //! backwards, out-of-range) hints.
 
-use xtk_core::joinbased::{gallop_intersect, intersect, merge_intersect};
+use xtk_core::joinbased::{gallop_intersect, intersect, merge_intersect, use_gallop};
 use xtk_index::columnar::{gallop_lower_bound, gallop_partition_point, Column, Run};
 use xtk_xml::testutil::{prop_check, Gen};
 
@@ -57,6 +57,58 @@ fn gallop_agrees_with_merge_and_naive() {
         assert_eq!(merge_intersect(&values, &col), want, "merge vs naive");
         assert_eq!(intersect(&values, &col), want, "chooser vs naive");
     });
+}
+
+#[test]
+fn chooser_decision_never_changes_results() {
+    // The adaptive chooser differential: whatever `use_gallop` decides
+    // for a shape, BOTH strategies must produce identical output — the
+    // decision is a cost model, never a correctness lever.  The sample
+    // must also exercise both branches, or the differential is vacuous.
+    let gallops = std::cell::Cell::new(0u32);
+    let merges = std::cell::Cell::new(0u32);
+    prop_check(0x75, 96, |g| {
+        let col = random_column(g);
+        let values = random_probes(g, &col);
+        if use_gallop(values.len(), col.runs.len()) {
+            gallops.set(gallops.get() + 1);
+        } else {
+            merges.set(merges.get() + 1);
+        }
+        assert_eq!(
+            gallop_intersect(&values, &col),
+            merge_intersect(&values, &col),
+            "strategies diverge on {} probes x {} runs",
+            values.len(),
+            col.runs.len()
+        );
+    });
+    assert!(gallops.get() > 0, "sample never galloped — chooser differential is vacuous");
+    assert!(merges.get() > 0, "sample never merged — chooser differential is vacuous");
+}
+
+#[test]
+fn adaptive_chooser_cost_model_shape() {
+    // Near-equal cardinalities always merge.
+    assert!(!use_gallop(100, 100));
+    assert!(!use_gallop(100, 199));
+    // The old fixed crossover (runs = 8 x values) still gallops...
+    assert!(use_gallop(100, 800));
+    // ...and the model keeps galloping as the column grows.
+    assert!(use_gallop(100, 10_000));
+    assert!(use_gallop(1, 64));
+    // Just under the modeled break-even it merges (skip = 4: cost 6m vs 5m).
+    assert!(!use_gallop(100, 400));
+    // Empty probe list is harmless either way.
+    let _ = use_gallop(0, 50);
+    // Monotonic in the column length for a fixed probe count: once
+    // gallop wins it keeps winning as runs grow.
+    let mut was = false;
+    for runs in (0..100_000).step_by(997) {
+        let now = use_gallop(250, runs);
+        assert!(now || !was, "gallop flipped back to merge at {runs} runs");
+        was = now;
+    }
 }
 
 #[test]

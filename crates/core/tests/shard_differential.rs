@@ -7,11 +7,12 @@
 use std::sync::Arc;
 use xtk_core::batch::{run_batch, BatchItem, BatchOptions, ResultCache};
 use xtk_core::result::{sort_ranked, ScoredResult};
-use xtk_core::shard::{write_sharded, ShardedEngine};
+use xtk_core::shard::{write_sharded, write_sharded_with, ShardedEngine};
 use xtk_core::{
     Engine, Executor, Parallelism, Query, QueryAlgorithm, QueryRequest, Semantics,
 };
 use xtk_index::cache::ShardedLruCache;
+use xtk_index::disk::{FormatVersion, WriteIndexOptions};
 use xtk_index::XmlIndex;
 use xtk_obs::TraceLevel;
 use xtk_xml::parse;
@@ -133,6 +134,50 @@ fn results_bit_identical_across_topology_parallelism_and_cache() {
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn packed_shard_stores_bit_identical_to_varint() {
+    // Same topology written in the varint (v2) and bit-packed (v3) block
+    // layouts: every workload answer must agree bit for bit, across
+    // serial and parallel scatter, on a 1-shard and a 4-shard split.
+    let ix = corpus();
+    let work = workload(&ix);
+    for shards in [1usize, 4] {
+        let (d2, d3) = (
+            tmp(&format!("fmt_v2_{shards}")),
+            tmp(&format!("fmt_v3_{shards}")),
+        );
+        write_sharded_with(
+            &ix,
+            &d2,
+            shards,
+            WriteIndexOptions { include_scores: true, format: FormatVersion::V2 },
+        )
+        .unwrap();
+        write_sharded_with(
+            &ix,
+            &d3,
+            shards,
+            WriteIndexOptions { include_scores: true, format: FormatVersion::V3 },
+        )
+        .unwrap();
+        for parallelism in [Parallelism::Serial, Parallelism::Fixed(3)] {
+            let v2 = ShardedEngine::open(&ix, &d2).unwrap().with_parallelism(parallelism);
+            let v3 = ShardedEngine::open(&ix, &d3).unwrap().with_parallelism(parallelism);
+            for (q, req) in &work {
+                let a = v2.execute(q, req).unwrap();
+                let b = v3.execute(q, req).unwrap();
+                assert_bit_identical(
+                    &format!("{shards} shards, {parallelism:?}, v2 vs v3"),
+                    &b.results,
+                    &a.results,
+                );
+            }
+        }
+        std::fs::remove_dir_all(&d2).ok();
+        std::fs::remove_dir_all(&d3).ok();
     }
 }
 

@@ -1,0 +1,108 @@
+//! Owned-or-shared backing bytes for a persisted column file.
+//!
+//! The disk column store reads a column file once at open time and then
+//! serves every cold block decode by *slicing* the resident bytes — no
+//! seek, no per-block read, no intermediate copy between the file image
+//! and the decoder ([`crate::codec::decode_block_into`] consumes the
+//! slice directly).  `ColumnBytes` is the small abstraction that makes
+//! the backing storage interchangeable:
+//!
+//! * [`ColumnBytes::Owned`] — the store holds the only copy (the common
+//!   case: one store per opened file).
+//! * [`ColumnBytes::Shared`] — several stores view one buffer (tests,
+//!   shard replicas on one host, or a caller that already holds the file
+//!   image and wants to open a store over it without copying).
+//!
+//! Both variants are immutable after construction, so handing out
+//! `&[u8]` slices across threads is safe without locking; the store's
+//! decode lock exists only to keep the decode-once cache discipline, not
+//! to protect these bytes.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Immutable backing bytes of a column file: exclusively owned or shared.
+#[derive(Debug, Clone)]
+pub enum ColumnBytes {
+    /// Exclusively owned file image.
+    Owned(Box<[u8]>),
+    /// File image shared with other readers (cheap to clone).
+    Shared(Arc<[u8]>),
+}
+
+impl ColumnBytes {
+    /// Reads a whole file into an owned image.
+    pub fn from_file(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        Ok(ColumnBytes::Owned(bytes.into_boxed_slice()))
+    }
+
+    /// The full file image.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            ColumnBytes::Owned(b) => b,
+            ColumnBytes::Shared(b) => b,
+        }
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// A zero-copy view of `len` bytes starting at `start`: `None` when
+    /// the range falls outside the image (corrupt directory entries must
+    /// surface as errors, never a panic).
+    pub fn slice(&self, start: u64, len: usize) -> Option<&[u8]> {
+        let start = usize::try_from(start).ok()?;
+        self.as_slice().get(start..start.checked_add(len)?)
+    }
+}
+
+impl From<Vec<u8>> for ColumnBytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        ColumnBytes::Owned(bytes.into_boxed_slice())
+    }
+}
+
+impl From<Arc<[u8]>> for ColumnBytes {
+    fn from(bytes: Arc<[u8]>) -> Self {
+        ColumnBytes::Shared(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_bounds_are_checked() {
+        let cb = ColumnBytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(cb.len(), 4);
+        assert!(!cb.is_empty());
+        assert_eq!(cb.slice(1, 2), Some(&[2u8, 3][..]));
+        assert_eq!(cb.slice(0, 4), Some(&[1u8, 2, 3, 4][..]));
+        assert_eq!(cb.slice(3, 2), None);
+        assert_eq!(cb.slice(4, 1), None);
+        assert_eq!(cb.slice(u64::MAX, 1), None);
+        assert_eq!(cb.slice(2, usize::MAX), None);
+    }
+
+    #[test]
+    fn shared_variant_views_one_buffer() {
+        let arc: Arc<[u8]> = vec![9u8, 8, 7].into();
+        let a = ColumnBytes::from(arc.clone());
+        let b = ColumnBytes::from(arc);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(a.slice(0, 3), Some(&[9u8, 8, 7][..]));
+    }
+}

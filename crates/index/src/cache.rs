@@ -36,9 +36,16 @@ use xtk_obs::MetricsRegistry;
 pub type Block = Arc<[Run]>;
 
 /// Approximate resident size of a decoded block, used by byte-bounded
-/// capacities (runs plus map/heap bookkeeping overhead).
+/// capacities.
+///
+/// A cached block is an `Arc<[Run]>`, so its true resident footprint is
+/// the `Arc` allocation header (strong + weak counts, one `usize` each)
+/// plus the run payload, plus a flat allowance for the cache's own
+/// bookkeeping (map entry, recency node).  Pinned by a unit test so
+/// byte-bounded capacities stay meaningful as the block representation
+/// evolves.
 pub fn block_bytes(runs: &[Run]) -> usize {
-    std::mem::size_of_val(runs) + 64
+    2 * std::mem::size_of::<usize>() + std::mem::size_of_val(runs) + 64
 }
 
 /// Cache observability counters.
@@ -384,6 +391,20 @@ mod tests {
         assert_eq!(s.resident_blocks, 1);
         assert!(s.resident_bytes >= block_bytes(&got) as u64);
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_bytes_accounts_header_and_runs() {
+        // A resident block is an Arc<[Run]>: two usize refcounts in the
+        // allocation header, 12 bytes per run, plus the flat 64-byte
+        // allowance for the cache's map + recency bookkeeping.  Pinned
+        // exactly so byte-bounded capacities keep meaning what they say.
+        let header = 2 * std::mem::size_of::<usize>();
+        assert_eq!(std::mem::size_of::<Run>(), 12);
+        assert_eq!(block_bytes(&[]), header + 64);
+        let b = block(5, 0);
+        assert_eq!(block_bytes(&b), header + 5 * 12 + 64);
+        assert_eq!(block_bytes(&block(341, 0)), header + 341 * 12 + 64);
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! counts.
 
 use crate::codec::{
-    choose_scheme, decode_column, encode_column, try_read_varint, write_varint,
-    CompressedColumn, Scheme,
+    choose_scheme, decode_column, encode_column, encode_column_packed, try_read_varint,
+    write_varint, BlockLayout, CompressedColumn, Scheme,
 };
 
 /// Bounded reader over the raw file bytes: every primitive read reports
@@ -69,6 +69,9 @@ pub(crate) const MAGIC_V1: u32 = 0x58544B01;
 /// File magic: "XTK" + format version 2 (per-block row-count and
 /// last-value footers in the directory).
 pub(crate) const MAGIC_V2: u32 = 0x58544B02;
+/// File magic: "XTK" + format version 3 (v2 directory + bit-packed block
+/// payloads).
+pub(crate) const MAGIC_V3: u32 = 0x58544B03;
 
 /// On-disk format version.
 ///
@@ -78,14 +81,35 @@ pub(crate) const MAGIC_V2: u32 = 0x58544B02;
 /// * [`V2`](FormatVersion::V2) — adds per-block `(row count,
 ///   last value)` footers, so a reader locates any probe in O(1)
 ///   directory work and skips blocks whose `[first, last]` range cannot
-///   contain the probe.  Readers accept both versions.
+///   contain the probe.
+/// * [`V3`](FormatVersion::V3) — same directory as v2, but block
+///   payloads are fixed-width bit-packed lanes
+///   ([`BlockLayout::Packed`]) decoded branchlessly instead of LEB128
+///   varints.  Readers accept all three versions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum FormatVersion {
     /// Original format, kept writable for compatibility tests.
     V1,
-    /// Current format with block footers (the default).
+    /// Varint payloads with block footers (the default).
     #[default]
     V2,
+    /// Bit-packed payloads with block footers.
+    V3,
+}
+
+impl FormatVersion {
+    /// The physical block layout this format stores.
+    pub fn layout(self) -> BlockLayout {
+        match self {
+            FormatVersion::V1 | FormatVersion::V2 => BlockLayout::Varint,
+            FormatVersion::V3 => BlockLayout::Packed,
+        }
+    }
+
+    /// Whether the directory carries per-block row/last-value footers.
+    pub fn has_footers(self) -> bool {
+        !matches!(self, FormatVersion::V1)
+    }
 }
 
 /// Options for writing.
@@ -121,6 +145,7 @@ fn encode_header(ix: &XmlIndex, opts: WriteIndexOptions, buf: &mut Vec<u8>) {
     let magic = match opts.format {
         FormatVersion::V1 => MAGIC_V1,
         FormatVersion::V2 => MAGIC_V2,
+        FormatVersion::V3 => MAGIC_V3,
     };
     write_varint(magic, buf);
     write_varint(ix.vocab_size() as u32, buf);
@@ -152,7 +177,10 @@ fn encode_term_record(
     write_varint(term.columns.len() as u32, buf);
     for col in &term.columns {
         let scheme = choose_scheme(col);
-        let cc = encode_column(col, scheme);
+        let cc = match opts.format.layout() {
+            BlockLayout::Varint => encode_column(col, scheme),
+            BlockLayout::Packed => encode_column_packed(col, scheme),
+        };
         buf.push(match scheme {
             Scheme::Delta => 0,
             Scheme::Rle => 1,
@@ -163,7 +191,7 @@ fn encode_term_record(
             let first = cc.block_first_values.get(b).copied().unwrap_or(0);
             write_varint(off, buf);
             write_varint(first, buf);
-            if opts.format == FormatVersion::V2 {
+            if opts.format.has_footers() {
                 // Footer: row count + last value as a delta from the
                 // first (values inside a block are non-decreasing, so
                 // the delta is small and varints stay short).
@@ -239,6 +267,7 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
     let format = match magic {
         MAGIC_V1 => FormatVersion::V1,
         MAGIC_V2 => FormatVersion::V2,
+        MAGIC_V3 => FormatVersion::V3,
         _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic")),
     };
     let n_terms = r.varint("term count")? as usize;
@@ -251,6 +280,7 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
             .to_string();
         let n_postings = r.varint("posting count")? as usize;
+        // lint:allow(L8, load-time file parse — one vec per term, not on the query path)
         let mut depths = Vec::new();
         depths.try_reserve(n_postings.min(1 << 24)).map_err(|_| {
             io::Error::new(io::ErrorKind::InvalidData, "posting count too large")
@@ -290,20 +320,25 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
                 x => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
+                        // lint:allow(L8, error construction on the corrupt-file bail-out)
                         format!("bad scheme byte {x}"),
                     ))
                 }
             };
             let n_blocks = r.varint("block count")? as usize;
+            // lint:allow(L8, load-time file parse — per-column directory vecs, not on the query path)
             let mut block_offsets = Vec::new();
+            // lint:allow(L8, load-time file parse — per-column directory vecs, not on the query path)
             let mut block_first_values = Vec::new();
+            // lint:allow(L8, load-time file parse — per-column directory vecs, not on the query path)
             let mut block_rows = Vec::new();
+            // lint:allow(L8, load-time file parse — per-column directory vecs, not on the query path)
             let mut block_last_values = Vec::new();
             for _ in 0..n_blocks {
                 block_offsets.push(r.varint("block offset")?);
                 let first = r.varint("block first value")?;
                 block_first_values.push(first);
-                if format == FormatVersion::V2 {
+                if format.has_footers() {
                     block_rows.push(r.varint("block row count")?);
                     let span = r.varint("block last-value delta")?;
                     block_last_values.push(first.checked_add(span).ok_or_else(|| {
@@ -312,6 +347,7 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
                 }
             }
             let payload_len = r.varint("payload length")? as usize;
+            // lint:allow(L8, load-time file parse — the owned payload copy IS the loaded column)
             let payload = r.take(payload_len, "payload")?.to_vec();
             if let Some(&last) = block_offsets.last() {
                 if last as usize >= payload_len.max(1) {
@@ -323,6 +359,7 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
             }
             let cc = CompressedColumn {
                 scheme,
+                layout: format.layout(),
                 bytes: payload,
                 block_offsets,
                 block_first_values,
@@ -336,6 +373,7 @@ pub fn read_index(path: &Path) -> io::Result<PersistedIndex> {
                 .enumerate()
                 .filter(|(_, &d)| d >= level)
                 .map(|(i, _)| i as u32)
+                // lint:allow(L8, load-time file parse — the per-level lengths array is built once per load)
                 .collect();
             columns.push(try_decode(&cc, &present)?);
         }
@@ -451,11 +489,46 @@ mod tests {
     }
 
     #[test]
+    fn v3_files_read_identically_to_v2() {
+        let mut xml = String::from("<r>");
+        for i in 0..400 {
+            xml.push_str(&format!("<p><t>packed format{} data</t></p>", i % 13));
+        }
+        xml.push_str("</r>");
+        let ix = XmlIndex::build(parse(&xml).unwrap());
+        let p2 = tmp("v2packed");
+        let p3 = tmp("v3packed");
+        write_index(
+            &ix,
+            &p2,
+            WriteIndexOptions { include_scores: true, format: FormatVersion::V2 },
+        )
+        .unwrap();
+        write_index(
+            &ix,
+            &p3,
+            WriteIndexOptions { include_scores: true, format: FormatVersion::V3 },
+        )
+        .unwrap();
+        let l2 = read_index(&p2).unwrap();
+        let l3 = read_index(&p3).unwrap();
+        assert_eq!(l2.terms.len(), l3.terms.len());
+        for (term, t2) in &l2.terms {
+            let t3 = &l3.terms[term.as_str()];
+            assert_eq!(t2.columns, t3.columns, "columns differ for {term}");
+            assert_eq!(t2.depths, t3.depths);
+            assert_eq!(t2.scores, t3.scores);
+        }
+        std::fs::remove_file(&p2).ok();
+        std::fs::remove_file(&p3).ok();
+    }
+
+    #[test]
     fn persisted_file_bytes_matches_writer_for_both_formats() {
         let ix = XmlIndex::build(
             parse("<r><a><p>exact size</p></a><b>size accounting exact</b></r>").unwrap(),
         );
-        for format in [FormatVersion::V1, FormatVersion::V2] {
+        for format in [FormatVersion::V1, FormatVersion::V2, FormatVersion::V3] {
             for include_scores in [false, true] {
                 let opts = WriteIndexOptions { include_scores, format };
                 let path = tmp(&format!("sz_{format:?}_{include_scores}"));

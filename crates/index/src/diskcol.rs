@@ -16,17 +16,21 @@
 //! (see [`crate::cache`]): by default an unbounded one per store — the
 //! paper's hot-cache regime — but [`DiskColumnStore::open_with_cache`]
 //! lets several stores and all `Parallelism` workers share one bounded
-//! LRU.  The store itself is `Sync`: the file handle sits behind a
-//! mutex and the decode counter is atomic, so parallel executors can
-//! probe one store from many workers without duplicating decodes.
+//! LRU.  The store itself is `Sync`: the file image is an immutable
+//! [`ColumnBytes`] sliced zero-copy per block (no seeks, no per-block
+//! read buffer), cold decodes run through the per-thread
+//! [`DecodeScratch`](crate::codec::DecodeScratch) arena behind a small
+//! decode lock that keeps the decode-once discipline, and the counters
+//! are atomic — so parallel executors can probe one store from many
+//! workers without duplicating decodes.
 
+use crate::bytes::ColumnBytes;
 use crate::cache::{Block, BlockCache, CacheStats, ShardedLruCache};
-use crate::codec::{try_read_varint, Scheme};
+use crate::codec::{decode_block_into, with_decode_scratch, BlockLayout, Scheme};
 use crate::columnar::Run;
-use crate::disk::{ByteReader, MAGIC_V1, MAGIC_V2};
+use crate::disk::{ByteReader, MAGIC_V1, MAGIC_V2, MAGIC_V3};
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::{self, Read, Seek, SeekFrom};
+use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -35,9 +39,9 @@ fn bad(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("corrupt index file: {what}"))
 }
 
-/// Recovers from mutex poisoning: the guarded state (a file handle / the
-/// cache maps) stays internally consistent between operations, and the
-/// panic that poisoned it has already been propagated by the pool.
+/// Recovers from mutex poisoning: the guarded state (the decode ticket /
+/// the cache maps) stays internally consistent between operations, and
+/// the panic that poisoned it has already been propagated by the pool.
 fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
@@ -118,10 +122,50 @@ impl StoreIoStats {
     }
 }
 
+/// A per-query I/O counting scope.
+///
+/// The store's own counters are process-lifetime totals; a "per-query
+/// delta" read off them (`io_stats` before/after) silently absorbs the
+/// accesses of every *other* query running on the store in the same
+/// window — exactly what happens when a batch executes distinct queries
+/// in parallel.  A session is instead handed to the column handles of
+/// one query ([`DiskColumn::scoped`]) and counts only the accesses made
+/// through them, so concurrent queries cannot contaminate each other's
+/// numbers.  The counters are atomics: within one query, parallel probe
+/// workers share the session and their counts still land in it.
+///
+/// Under serial execution a session counts the same increments as the
+/// global delta did, bit for bit.
+#[derive(Debug, Default)]
+pub struct IoSession {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    decodes: AtomicU64,
+}
+
+impl IoSession {
+    /// Snapshot of the accesses counted by this session so far.
+    pub fn stats(&self) -> StoreIoStats {
+        StoreIoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            decodes: self.decodes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A read-only, block-granular, thread-safe view of a columnar index file.
 #[derive(Debug)]
 pub struct DiskColumnStore {
-    file: Mutex<File>,
+    /// Resident file image; every cold block decode slices it zero-copy.
+    bytes: ColumnBytes,
+    /// Serializes cold decodes so concurrent workers missing on the same
+    /// block decode it exactly once (the double-checked `peek` below).
+    /// It guards the decode-once *discipline*, not the bytes — those are
+    /// immutable and read without locking.
+    decode_lock: Mutex<()>,
+    /// Physical block layout of the file (varint for v1/v2, packed v3).
+    layout: BlockLayout,
     terms: HashMap<String, TermMeta>,
     cache: Arc<dyn BlockCache>,
     /// Cache-missing block decodes performed by this store.
@@ -145,16 +189,23 @@ impl DiskColumnStore {
     /// `Arc` to several stores (or executors) to share one bounded budget;
     /// keys never collide across stores.
     pub fn open_with_cache(path: &Path, cache: Arc<dyn BlockCache>) -> io::Result<Self> {
+        Self::open_bytes(ColumnBytes::from_file(path)?, cache)
+    }
+
+    /// Opens a store over an already-resident file image — the zero-copy
+    /// entry point: the same [`ColumnBytes::Shared`] buffer can back any
+    /// number of stores without duplicating the payload.
+    pub fn open_bytes(bytes: ColumnBytes, cache: Arc<dyn BlockCache>) -> io::Result<Self> {
         // The format is sequential, so one pass builds the directory; the
-        // payload bytes are skipped over.  All reads are bounds-checked so
-        // corrupt files fail with InvalidData instead of panicking.
-        let mut bytes = Vec::new();
-        File::open(path)?.read_to_end(&mut bytes)?;
-        let mut r = ByteReader::new(&bytes);
+        // payload bytes are skipped over (and later sliced per block,
+        // never copied).  All reads are bounds-checked so corrupt files
+        // fail with InvalidData instead of panicking.
+        let mut r = ByteReader::new(bytes.as_slice());
         let magic = r.varint("magic")?;
-        let v2 = match magic {
-            MAGIC_V1 => false,
-            MAGIC_V2 => true,
+        let (has_footers, layout) = match magic {
+            MAGIC_V1 => (false, BlockLayout::Varint),
+            MAGIC_V2 => (true, BlockLayout::Varint),
+            MAGIC_V3 => (true, BlockLayout::Packed),
             _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic")),
         };
         let n_terms = r.varint("term count")? as usize;
@@ -166,6 +217,7 @@ impl DiskColumnStore {
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
                 .to_string();
             let n_postings = r.varint("posting count")? as usize;
+            // lint:allow(L8, open-time directory parse — one vec per term, never on the block-decode path)
             let mut depths = Vec::new();
             depths.try_reserve(n_postings.min(1 << 24)).map_err(|_| {
                 io::Error::new(io::ErrorKind::InvalidData, "posting count too large")
@@ -188,22 +240,26 @@ impl DiskColumnStore {
                     x => {
                         return Err(io::Error::new(
                             io::ErrorKind::InvalidData,
+                            // lint:allow(L8, error construction on the corrupt-file bail-out)
                             format!("bad scheme byte {x}"),
                         ))
                     }
                 };
                 let n_blocks = r.varint("block count")? as usize;
+                // lint:allow(L8, open-time directory parse — per-column metadata vecs, never on the block-decode path)
                 let mut rel = Vec::new();
                 rel.try_reserve(n_blocks.min(1 << 22)).map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "block count too large")
                 })?;
+                // lint:allow(L8, open-time directory parse — per-column metadata vecs, never on the block-decode path)
                 let mut rows = Vec::new();
+                // lint:allow(L8, open-time directory parse — per-column metadata vecs, never on the block-decode path)
                 let mut lasts = Vec::new();
                 for _ in 0..n_blocks {
                     let off = r.varint("block offset")?;
                     let first = r.varint("block first value")?;
                     rel.push((off, first));
-                    if v2 {
+                    if has_footers {
                         rows.push(r.varint("block row count")?);
                         let span = r.varint("block last-value delta")?;
                         lasts.push(
@@ -228,8 +284,9 @@ impl DiskColumnStore {
                     .enumerate()
                     .filter(|(_, &d)| d >= level)
                     .map(|(i, _)| i as u32)
+                    // lint:allow(L8, open-time directory parse — the per-level lengths array is built once per open)
                     .collect();
-                let footers = if v2 {
+                let footers = if has_footers {
                     // Prefix-sum the row counts; reject footers that
                     // disagree with the lengths array so a corrupt
                     // directory cannot misplace rows silently.
@@ -252,6 +309,7 @@ impl DiskColumnStore {
                 };
                 columns.push(ColumnMeta {
                     scheme,
+                    // lint:allow(L8, open-time directory parse — absolute block offsets built once per open)
                     blocks: rel.iter().map(|&(off, first)| (payload_base + off as u64, first)).collect(),
                     end: payload_base + payload_len as u64,
                     present_rows,
@@ -261,7 +319,9 @@ impl DiskColumnStore {
             terms.insert(term, TermMeta { columns });
         }
         Ok(Self {
-            file: Mutex::new(File::open(path)?),
+            bytes,
+            decode_lock: Mutex::new(()),
+            layout,
             terms,
             cache,
             decodes: AtomicU64::new(0),
@@ -289,7 +349,7 @@ impl DiskColumnStore {
         let meta = self.terms.get(term)?;
         let idx = level.checked_sub(1)? as usize;
         let meta = meta.columns.get(idx)?;
-        Some(DiskColumn { store: self, meta })
+        Some(DiskColumn { store: self, meta, session: None })
     }
 
     /// Total cache-missing block decodes performed by this store.
@@ -341,7 +401,7 @@ impl DiskColumnStore {
         for col in &meta.columns {
             let mut row_base = 0u32;
             for b in 0..col.blocks.len() {
-                let runs = self.decode_block(col, b, row_base)?;
+                let runs = self.decode_block(col, b, row_base, None)?;
                 row_base = row_base
                     .checked_add(runs.iter().map(|r| r.len).sum::<u32>())
                     .ok_or_else(|| bad("row count overflow"))?;
@@ -379,91 +439,77 @@ impl DiskColumnStore {
         (self.store_id << 48) ^ start
     }
 
+    /// One cache-served block lookup: counted in the store totals and,
+    /// when the access happens inside a query scope, in its session.
+    fn count_hit(&self, session: Option<&IoSession>) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = session {
+            s.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One cold block lookup (miss + decode), same dual attribution.
+    fn count_miss(&self, session: Option<&IoSession>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.decodes.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = session {
+            s.misses.fetch_add(1, Ordering::Relaxed);
+            s.decodes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Decodes the runs of one block (cache-aware).  `row_base` is the
     /// number of present rows in all preceding blocks of the column; the
-    /// caller obtains it in O(1) from the v2 footers or by decoding the
-    /// prefix on v1 files.
+    /// caller obtains it in O(1) from the v2/v3 footers or by decoding
+    /// the prefix on v1 files.
     ///
-    /// The file mutex is held across read + decode + insert, so
-    /// concurrent workers missing on the same block decode it exactly
-    /// once — `reads()` stays deterministic under an unbounded cache no
-    /// matter the worker count.
-    fn decode_block(&self, meta: &ColumnMeta, b: usize, row_base: u32) -> io::Result<Block> {
+    /// The block bytes are a zero-copy slice of the resident file image,
+    /// decoded through the per-thread scratch arena and frozen into the
+    /// cached `Arc<[Run]>` only once finished.  The decode lock is held
+    /// across decode + insert, so concurrent workers missing on the same
+    /// block decode it exactly once — `reads()` stays deterministic under
+    /// an unbounded cache no matter the worker count.
+    fn decode_block(
+        &self,
+        meta: &ColumnMeta,
+        b: usize,
+        row_base: u32,
+        session: Option<&IoSession>,
+    ) -> io::Result<Block> {
         let Some(&(start, _)) = meta.blocks.get(b) else {
             return Err(bad("block index out of range"));
         };
         let key = self.block_key(start);
         if let Some(runs) = self.cache.get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count_hit(session);
             return Ok(runs);
         }
-        let mut f = relock(&self.file);
+        let _decode = relock(&self.decode_lock);
         // Double-check: another worker may have decoded this block while
-        // we waited for the file lock.  `peek` so the shared cache does
+        // we waited for the decode lock.  `peek` so the shared cache does
         // not count the same logical access twice.
         if let Some(runs) = self.cache.peek(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count_hit(session);
             return Ok(runs);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.decodes.fetch_add(1, Ordering::Relaxed);
+        self.count_miss(session);
         let end = match meta.blocks.get(b + 1) {
             Some(&(next, _)) => next,
             None => meta.end,
         };
         let len = end.checked_sub(start).ok_or_else(|| bad("block offsets not ascending"))?;
-        let mut buf = vec![0u8; len as usize];
-        f.seek(SeekFrom::Start(start))?;
-        f.read_exact(&mut buf)?;
-        let mut pos = 4usize;
-        let mut prev = match buf.first_chunk::<4>() {
-            Some(le) => u32::from_le_bytes(*le),
-            None => return Err(bad("truncated block header")),
-        };
-        let mut runs: Vec<Run> = Vec::new();
-        let mut ordinal = row_base;
-        let push = |value: u32, count: u32, runs: &mut Vec<Run>, ordinal: &mut u32| -> io::Result<()> {
-            for _ in 0..count {
-                let row = *meta
-                    .present_rows
-                    .get(*ordinal as usize)
-                    .ok_or_else(|| bad("block rows exceed lengths array"))?;
-                *ordinal += 1;
-                match runs.last_mut() {
-                    Some(last) if last.value == value && last.end() == row => last.len += 1,
-                    _ => runs.push(Run { value, start: row, len: 1 }),
-                }
-            }
-            Ok(())
-        };
-        let varint = |buf: &[u8], pos: &mut usize| -> io::Result<u32> {
-            try_read_varint(buf, pos).ok_or_else(|| bad("truncated varint"))
-        };
-        match meta.scheme {
-            Scheme::Delta => {
-                push(prev, 1, &mut runs, &mut ordinal)?;
-                while pos < buf.len() {
-                    prev = prev
-                        .checked_add(varint(&buf, &mut pos)?)
-                        .ok_or_else(|| bad("value overflow"))?;
-                    push(prev, 1, &mut runs, &mut ordinal)?;
-                }
-            }
-            Scheme::Rle => {
-                let mut first = true;
-                while pos < buf.len() {
-                    if !first {
-                        prev = prev
-                            .checked_add(varint(&buf, &mut pos)?)
-                            .ok_or_else(|| bad("value overflow"))?;
-                    }
-                    first = false;
-                    let len = varint(&buf, &mut pos)?;
-                    push(prev, len, &mut runs, &mut ordinal)?;
-                }
-            }
-        }
-        let block: Block = runs.into();
+        let len = usize::try_from(len).map_err(|_| bad("block length overflow"))?;
+        let block_bytes = self.bytes.slice(start, len).ok_or_else(|| bad("block beyond file"))?;
+        let present = meta
+            .present_rows
+            .get(row_base as usize..)
+            .ok_or_else(|| bad("row base beyond lengths array"))?;
+        let block: Block = with_decode_scratch(|scratch| {
+            scratch.runs.clear();
+            decode_block_into(meta.scheme, self.layout, block_bytes, present, scratch)
+                .map(|_| Block::from(scratch.runs.as_slice()))
+        })
+        .ok_or_else(|| bad("inconsistent block payload"))?;
         self.cache.insert(key, Arc::clone(&block));
         Ok(block)
     }
@@ -473,12 +519,32 @@ impl DiskColumnStore {
 pub struct DiskColumn<'a> {
     store: &'a DiskColumnStore,
     meta: &'a ColumnMeta,
+    /// Query scope the accesses through this handle are attributed to
+    /// (besides the store totals); `None` outside query execution.
+    session: Option<&'a IoSession>,
+}
+
+impl<'a> DiskColumn<'a> {
+    /// Attributes every access through this handle to `session` (in
+    /// addition to the store totals) — one session per query execution
+    /// keeps per-query I/O deltas exact even when several queries run on
+    /// the store concurrently.
+    pub fn scoped(mut self, session: &'a IoSession) -> DiskColumn<'a> {
+        self.session = Some(session);
+        self
+    }
 }
 
 impl DiskColumn<'_> {
     /// Number of blocks.
     pub fn block_count(&self) -> usize {
         self.meta.blocks.len()
+    }
+
+    /// Compression scheme of this column (delta vs RLE), for workload
+    /// labeling in benches and tests.
+    pub fn scheme(&self) -> Scheme {
+        self.meta.scheme
     }
 
     /// Rows present at this level.
@@ -492,7 +558,7 @@ impl DiskColumn<'_> {
         let mut out = Vec::new();
         let mut row_base = 0u32;
         for b in 0..self.meta.blocks.len() {
-            let runs = self.store.decode_block(self.meta, b, row_base)?;
+            let runs = self.store.decode_block(self.meta, b, row_base, self.session)?;
             row_base = row_base
                 .checked_add(runs.iter().map(|r| r.len).sum::<u32>())
                 .ok_or_else(|| bad("row count overflow"))?;
@@ -529,7 +595,7 @@ impl DiskColumn<'_> {
                 // v1: decode preceding blocks (cached after first touch).
                 let mut row_base = 0u32;
                 for p in 0..b {
-                    let prefix = self.store.decode_block(self.meta, p, row_base)?;
+                    let prefix = self.store.decode_block(self.meta, p, row_base, self.session)?;
                     row_base = row_base
                         .checked_add(prefix.iter().map(|r| r.len).sum::<u32>())
                         .ok_or_else(|| bad("row count overflow"))?;
@@ -537,7 +603,7 @@ impl DiskColumn<'_> {
                 row_base
             }
         };
-        let runs = self.store.decode_block(self.meta, b, row_base)?;
+        let runs = self.store.decode_block(self.meta, b, row_base, self.session)?;
         let found = runs
             .binary_search_by_key(&value, |r| r.value)
             .ok()
@@ -585,7 +651,7 @@ mod tests {
 
     #[test]
     fn scan_matches_in_memory_columns() {
-        for format in [FormatVersion::V1, FormatVersion::V2] {
+        for format in [FormatVersion::V1, FormatVersion::V2, FormatVersion::V3] {
             let (ix, store, path) = store_v("scan", format);
             for (_, term) in ix.terms() {
                 for (li, col) in term.columns.iter().enumerate() {
@@ -605,7 +671,7 @@ mod tests {
 
     #[test]
     fn find_matches_in_memory_find() {
-        for format in [FormatVersion::V1, FormatVersion::V2] {
+        for format in [FormatVersion::V1, FormatVersion::V2, FormatVersion::V3] {
             let (ix, store, path) = store_v("find", format);
             let term = ix.term_by_str("shared").unwrap();
             let dc = store.column("shared", 3).unwrap();
@@ -831,6 +897,23 @@ mod tests {
         a.publish(&reg);
         b.publish(&reg);
         assert_eq!(reg.snapshot().get("store.decodes"), a.decodes + b.decodes);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shared_file_image_backs_many_stores() {
+        // Zero-copy open: two stores over one Arc'd file image, no
+        // per-store copy of the payload, identical results.
+        let (ix, _unused, path) = store("sharedbytes");
+        let image: Arc<[u8]> = std::fs::read(&path).unwrap().into();
+        let cache: Arc<dyn BlockCache> = Arc::new(ShardedLruCache::unbounded());
+        let a = DiskColumnStore::open_bytes(ColumnBytes::from(image.clone()), Arc::clone(&cache))
+            .unwrap();
+        let b = DiskColumnStore::open_bytes(ColumnBytes::from(image), cache).unwrap();
+        let col = &ix.term_by_str("shared").unwrap().columns[2];
+        assert_eq!(a.column("shared", 3).unwrap().scan().unwrap(), col.runs);
+        assert_eq!(b.column("shared", 3).unwrap().scan().unwrap(), col.runs);
+        assert_ne!(a.store_id(), b.store_id(), "cache keys stay disjoint");
         std::fs::remove_file(path).ok();
     }
 

@@ -25,6 +25,7 @@
 
 pub mod btree;
 pub mod builder;
+pub mod bytes;
 pub mod cache;
 pub mod codec;
 pub mod columnar;

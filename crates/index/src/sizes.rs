@@ -22,12 +22,13 @@ use crate::codec::{choose_scheme, encode_column, varint_len, write_varint, Compr
 use crate::sparse::SPARSE_ENTRY_BYTES;
 use std::fmt;
 
-/// Exact on-disk bytes of one column record in the current (v2) format:
-/// scheme byte, block count, per-block directory entries
+/// Exact on-disk bytes of one column record in the footered formats
+/// (v2 varint payloads and v3 bit-packed payloads share one directory
+/// shape): scheme byte, block count, per-block directory entries
 /// `(offset, first value, row count, last − first)` as varints, payload
 /// length, payload.  Mirrors the private `encode_term_record` in
 /// [`crate::disk`]; the `column_accounting_matches_actual_file_length`
-/// test keeps the two from drifting.
+/// tests keep the two from drifting for both layouts.
 fn column_record_bytes(cc: &CompressedColumn) -> u64 {
     let mut bytes = 1 + varint_len(cc.block_offsets.len() as u32);
     for b in 0..cc.block_offsets.len() {
@@ -254,6 +255,41 @@ mod tests {
         assert_eq!(model, persisted_file_bytes(&ix, opts));
         let path = std::env::temp_dir()
             .join(format!("xtk_sizes_exact_{}.bin", std::process::id()));
+        let written = write_index(&ix, &path, opts).unwrap();
+        assert_eq!(model, written);
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn column_accounting_matches_v3_file_length() {
+        // Same exact-byte reconstruction for the bit-packed format: the
+        // v3 directory is byte-identical in shape to v2, only the
+        // payload encoder changes, so `column_record_bytes` over
+        // `encode_column_packed` must rebuild the real v3 file size.
+        use crate::codec::encode_column_packed;
+        use crate::disk::{
+            persisted_file_bytes, write_index, FormatVersion, WriteIndexOptions, MAGIC_V3,
+        };
+        let ix = small_index();
+        let opts =
+            WriteIndexOptions { include_scores: false, format: FormatVersion::V3 };
+        let mut model =
+            (varint_len(MAGIC_V3) + varint_len(ix.vocab_size() as u32) + 1) as u64;
+        for (_, term) in ix.terms() {
+            model += varint_len(term.term.len() as u32) as u64 + term.term.len() as u64;
+            model += varint_len(term.postings.len() as u32) as u64;
+            for &node in &term.postings {
+                model += varint_len(ix.tree().depth(node) as u32) as u64;
+            }
+            model += varint_len(term.columns.len() as u32) as u64;
+            for col in &term.columns {
+                model += column_record_bytes(&encode_column_packed(col, choose_scheme(col)));
+            }
+        }
+        assert_eq!(model, persisted_file_bytes(&ix, opts));
+        let path = std::env::temp_dir()
+            .join(format!("xtk_sizes_exact_v3_{}.bin", std::process::id()));
         let written = write_index(&ix, &path, opts).unwrap();
         assert_eq!(model, written);
         assert_eq!(written, std::fs::metadata(&path).unwrap().len());

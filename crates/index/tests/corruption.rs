@@ -3,22 +3,31 @@
 //! error or — when the mutation happens to keep the file well-formed — a
 //! successful parse.  Never a panic.
 
-use xtk_index::disk::{read_index, write_index, WriteIndexOptions};
+use xtk_index::disk::{read_index, write_index, FormatVersion, WriteIndexOptions};
 use xtk_index::diskcol::DiskColumnStore;
 use xtk_index::XmlIndex;
 use xtk_xml::parse;
 use xtk_xml::testutil::prop_check;
 use xtk_xml::prop_assert_eq;
 
-fn valid_index_bytes() -> Vec<u8> {
+/// Both lazily-decoded formats: varint (v2) and bit-packed (v3) block
+/// payloads.  Every injection below runs against each, so truncated and
+/// bit-flipped packed lanes get the same coverage as varint payloads.
+const FORMATS: [FormatVersion; 2] = [FormatVersion::V2, FormatVersion::V3];
+
+fn valid_index_bytes(format: FormatVersion) -> Vec<u8> {
     let mut xml = String::from("<r>");
     for i in 0..120 {
         xml.push_str(&format!("<p><t>alpha beta{} gamma</t></p>", i % 11));
     }
     xml.push_str("</r>");
     let ix = XmlIndex::build(parse(&xml).unwrap());
-    let path = std::env::temp_dir().join(format!("xtk_corrupt_base_{}.bin", std::process::id()));
-    write_index(&ix, &path, WriteIndexOptions { include_scores: true, ..Default::default() }).unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "xtk_corrupt_base_{:?}_{}.bin",
+        format,
+        std::process::id()
+    ));
+    write_index(&ix, &path, WriteIndexOptions { include_scores: true, format }).unwrap();
     let bytes = std::fs::read(&path).unwrap();
     std::fs::remove_file(&path).ok();
     bytes
@@ -37,28 +46,32 @@ fn write_temp(bytes: &[u8], tag: &str) -> std::path::PathBuf {
 
 #[test]
 fn every_truncation_point_is_handled() {
-    let bytes = valid_index_bytes();
-    // Truncating at every prefix is O(n^2) in file size; sample prefixes
-    // densely at the start (header/directory) and sparsely later.
-    let mut cuts: Vec<usize> = (0..bytes.len().min(200)).collect();
-    cuts.extend((200..bytes.len()).step_by(97));
-    for cut in cuts {
-        let path = write_temp(&bytes[..cut], "trunc");
-        // Must not panic; Err expected for almost every cut.
-        let _ = read_index(&path);
-        let _ = DiskColumnStore::open(&path);
-        std::fs::remove_file(&path).ok();
+    for format in FORMATS {
+        let bytes = valid_index_bytes(format);
+        // Truncating at every prefix is O(n^2) in file size; sample
+        // prefixes densely at the start (header/directory) and sparsely
+        // later.
+        let mut cuts: Vec<usize> = (0..bytes.len().min(200)).collect();
+        cuts.extend((200..bytes.len()).step_by(97));
+        for cut in cuts {
+            let path = write_temp(&bytes[..cut], "trunc");
+            // Must not panic; Err expected for almost every cut.
+            let _ = read_index(&path);
+            let _ = DiskColumnStore::open(&path);
+            std::fs::remove_file(&path).ok();
+        }
     }
 }
 
 #[test]
 fn random_mutations_never_panic() {
     prop_check(0x41, 48, |g| {
+        let format = FORMATS[g.gen_range(0..FORMATS.len())];
         let n_flips = g.gen_range(1..8usize);
         let flips: Vec<(usize, u8)> = (0..n_flips)
             .map(|_| (g.gen_range(0..1_000_000usize), g.gen_range(0..256u32) as u8))
             .collect();
-        let mut bytes = valid_index_bytes();
+        let mut bytes = valid_index_bytes(format);
         for (pos, val) in flips {
             let n = bytes.len();
             bytes[pos % n] = val;
@@ -88,11 +101,12 @@ fn mutated_store_scan_and_find_never_panic() {
     // `Err` (or a well-formed `Ok`), never a panic.  Mutations are aimed
     // past the directory to stress the lazy decode paths.
     prop_check(0x42, 32, |g| {
+        let format = FORMATS[g.gen_range(0..FORMATS.len())];
         let n_flips = g.gen_range(1..6usize);
         let flips: Vec<(usize, u8)> = (0..n_flips)
             .map(|_| (g.gen_range(0..1_000_000usize), g.gen_range(0..256u32) as u8))
             .collect();
-        let mut bytes = valid_index_bytes();
+        let mut bytes = valid_index_bytes(format);
         let n = bytes.len();
         for (pos, val) in flips {
             // Skip the first ~64 bytes so the open() usually succeeds and

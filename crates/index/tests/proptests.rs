@@ -4,7 +4,9 @@
 //!
 //! Runs on the in-tree [`testutil`](xtk_xml::testutil) runner.
 
-use xtk_index::codec::{choose_scheme, decode_column, encode_column, Scheme};
+use xtk_index::codec::{
+    choose_scheme, decode_column, encode_column, encode_column_packed, Scheme,
+};
 use xtk_index::columnar::{Column, Run};
 use xtk_index::sparse::SparseIndex;
 use xtk_index::XmlIndex;
@@ -84,6 +86,79 @@ fn codec_roundtrip_both_schemes() {
         // The adaptive choice also round-trips.
         let cc = encode_column(&col, choose_scheme(&col));
         prop_assert_eq!(decode_column(&cc, &present), Some(col));
+    });
+}
+
+#[test]
+fn packed_layout_roundtrips_and_matches_varint() {
+    // Format v3: the bit-packed lanes must decode to exactly the varint
+    // (v2) decode and the in-memory column, for both schemes, over random
+    // columns with random present-row gaps.  The directory footers are
+    // layout-invariant, so `find()` and Table I size accounting agree.
+    prop_check(0x37, 128, |g| {
+        let col = random_column(g);
+        let present: Vec<u32> = col.runs.iter().flat_map(|r| r.rows()).collect();
+        for scheme in [Scheme::Delta, Scheme::Rle] {
+            let v2 = encode_column(&col, scheme);
+            let v3 = encode_column_packed(&col, scheme);
+            prop_assert_eq!(&v3.block_rows, &v2.block_rows, "{:?} footer rows", scheme);
+            prop_assert_eq!(
+                &v3.block_last_values,
+                &v2.block_last_values,
+                "{:?} footer last values",
+                scheme
+            );
+            let back3 = decode_column(&v3, &present).expect("packed payload decodes");
+            prop_assert_eq!(&back3, &col, "{:?} packed vs memory", scheme);
+            prop_assert_eq!(
+                decode_column(&v2, &present).as_ref(),
+                Some(&back3),
+                "{:?} varint vs packed",
+                scheme
+            );
+        }
+    });
+}
+
+#[test]
+fn corrupted_packed_lanes_reject_without_panicking() {
+    // Truncations and bit flips inside the packed lanes (width bytes,
+    // entry counts, lane payloads) must produce `None` — or, when the
+    // mutation keeps the block well-formed, a successful decode — and
+    // never a panic.  The lanes are exact-length, so a truncated or
+    // over-long lane is always detected.
+    prop_check(0x38, 128, |g| {
+        let col = random_column(g);
+        let present: Vec<u32> = col.runs.iter().flat_map(|r| r.rows()).collect();
+        let scheme = if g.gen_range(0..2u32) == 0 { Scheme::Delta } else { Scheme::Rle };
+        let mut cc = encode_column_packed(&col, scheme);
+        if cc.bytes.is_empty() {
+            return; // empty column: nothing to corrupt
+        }
+        match g.gen_range(0..3u32) {
+            0 => {
+                // Truncate the payload at a random point.
+                let cut = g.gen_range(0..cc.bytes.len());
+                cc.bytes.truncate(cut);
+            }
+            1 => {
+                // Flip bits somewhere in a lane or header byte.
+                let pos = g.gen_range(0..cc.bytes.len());
+                cc.bytes[pos] ^= 1 << g.gen_range(0..8u32);
+            }
+            _ => {
+                // Overwrite a byte entirely (hits width bytes too).
+                let pos = g.gen_range(0..cc.bytes.len());
+                cc.bytes[pos] = g.gen_range(0..256u32) as u8;
+            }
+        }
+        let decoded = decode_column(&cc, &present); // Some or None, never a panic
+        if let Some(back) = decoded {
+            // A lucky mutation must still yield a structurally sane column.
+            for w in back.runs.windows(2) {
+                prop_assert!(w[0].end() <= w[1].start, "rows must not overlap");
+            }
+        }
     });
 }
 

@@ -23,17 +23,25 @@ pub const HOT_MODULES: &[&str] = &[
     "crates/core/src/shard.rs",
     "crates/index/src/cache.rs",
     "crates/index/src/codec.rs",
+    "crates/index/src/disk.rs",
     "crates/index/src/diskcol.rs",
 ];
 
 /// The subset of [`HOT_MODULES`] where L8 (allocation-in-loop) applies:
-/// the Algorithm-1 join, the disk executor, the top-K star join and the
-/// shard scatter/merge.
+/// the Algorithm-1 join, the disk executor, the top-K star join, the
+/// shard scatter/merge, and the four block-decode modules — since the
+/// arena rework, the cold decode path must allocate only through the
+/// reused [`DecodeScratch`](../../index/src/codec.rs) buffers, so any
+/// fresh allocation inside a loop here needs a written reason.
 pub const L8_MODULES: &[&str] = &[
     "crates/core/src/joinbased.rs",
     "crates/core/src/diskexec.rs",
     "crates/core/src/topk.rs",
     "crates/core/src/shard.rs",
+    "crates/index/src/cache.rs",
+    "crates/index/src/codec.rs",
+    "crates/index/src/disk.rs",
+    "crates/index/src/diskcol.rs",
 ];
 
 /// Ubiquitous method names that resolve to std containers in practice; a
