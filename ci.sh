@@ -51,6 +51,14 @@ echo "== bench smoke: query-path I/O trajectory vs committed baseline"
 # intentional change with:  query_io --check BENCH_query.json --update
 cargo run -q --offline --release -p xtk-bench --bin query_io -- --check BENCH_query.json
 
+echo "== bench smoke: EXPLAIN plans vs committed golden (exact match)"
+# Renders the logical plan, rewrite log and physical plan for a fixed
+# query grid on every target (memory/disk/sharded); the report contains
+# nothing machine-dependent, so the comparison is byte-for-byte.  Any
+# diff is a real planner change — review it, then refresh with:
+#   explain_snapshot --check BENCH_explain.snap --update
+cargo run -q --offline --release -p xtk-bench --bin explain_snapshot -- --check BENCH_explain.snap
+
 echo "== bench smoke: unified metrics snapshot vs committed golden (exact match)"
 # Every counter in the snapshot is a logical count (no wall-clock), so
 # the comparison is byte-for-byte.  The run also asserts two cold passes

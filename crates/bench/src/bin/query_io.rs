@@ -29,7 +29,10 @@ use xtk_bench::{
 };
 use xtk_core::diskexec::join_search_disk;
 use xtk_core::joinbased::{join_search, JoinOptions};
+use xtk_core::plan::RuleSet;
 use xtk_core::query::Query;
+use xtk_core::request::{DiskEngine, Executor, QueryRequest};
+use xtk_core::Semantics;
 use xtk_datagen::dblp::{generate as gen_dblp, DblpConfig};
 use xtk_datagen::PlantedTerm;
 use xtk_index::cache::{BlockCache, ShardedLruCache, DEFAULT_CAPACITY_BLOCKS};
@@ -350,6 +353,73 @@ fn main() {
         "  \"ablation\": {{\"v1_cold_decodes\": {v1_total}, \"v2_cold_decodes\": {v2_total}, \"reduction_pct\": {reduction:.1}}},"
     );
 
+    // Rewrite-rule pruning effectiveness, through the request/plan path,
+    // per rule tier on a fresh (empty) cache each query.  `rules=none`
+    // lowers to the §III-B strawman (whole-sequence prescan), `prune`
+    // narrows the scans to the shared join levels, `all` additionally
+    // pushes footer-skipping probes — results must be bit-identical the
+    // whole way down while the cold decode totals strictly shrink at
+    // each tier.  The workload is the index-heavy point queries (all
+    // title-depth — the probe-pushdown regime) plus mixed-depth pairs of
+    // a conference name (level 3) with a high-frequency title term
+    // (level 5), where column pruning cuts the deep term's levels 4..5
+    // columns entirely.
+    let req = QueryRequest::complete(Semantics::Elca);
+    let tiers: [RuleSet; 3] = [
+        RuleSet::none(),
+        RuleSet { prune_columns: true, ..RuleSet::none() },
+        RuleSet::all(),
+    ];
+    let mut pruning_queries: Vec<Vec<String>> =
+        (0..4).map(|i| vec![format!("conf{}", 17 * i), high_term(i)]).collect();
+    for w in all.iter().filter(|w| w.index_heavy) {
+        pruning_queries.extend(w.queries.iter().cloned());
+    }
+    let mut tier_decodes = [0u64; 3];
+    let mut tier_fps = [Fingerprint::new(), Fingerprint::new(), Fingerprint::new()];
+    for words in &pruning_queries {
+        let q = Query::from_words(&ix, words).expect("pruning term resolves");
+        for (i, rules) in tiers.iter().enumerate() {
+            let store = DiskColumnStore::open(&p_v2).expect("open v2 store");
+            let disk = DiskEngine::new(&ix, &store);
+            let resp = disk.execute(&q, &req.with_rules(*rules)).expect("disk execute");
+            for r in &resp.results {
+                tier_fps[i].push(r.node.0);
+                tier_fps[i].push(r.level as u32);
+                tier_fps[i].push(r.score.to_bits());
+            }
+            tier_decodes[i] += resp.metrics.get("store.decodes");
+        }
+    }
+    let [strawman_total, pruned_total, probed_total] = tier_decodes;
+    assert_eq!(
+        tier_fps[0].0, tier_fps[1].0,
+        "prune-columns changed results on the pruning workloads"
+    );
+    assert_eq!(
+        tier_fps[1].0, tier_fps[2].0,
+        "push-probes changed results on the pruning workloads"
+    );
+    assert!(
+        strawman_total > pruned_total,
+        "column pruning must strictly cut cold decodes: strawman {strawman_total}, pruned {pruned_total}"
+    );
+    assert!(
+        pruned_total > probed_total,
+        "probe pushdown must strictly cut cold decodes: pruned {pruned_total}, probed {probed_total}"
+    );
+    let prune_pct = 100.0 * (1.0 - pruned_total as f64 / strawman_total as f64);
+    let probe_pct = 100.0 * (1.0 - probed_total as f64 / pruned_total as f64);
+    eprintln!(
+        "query_io: pruning cold decodes strawman {strawman_total} → pruned {pruned_total} ({prune_pct:.1}% fewer) → probed {probed_total} ({probe_pct:.1}% fewer)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"pruning\": {{\"strawman_cold_decodes\": {strawman_total}, \"pruned_cold_decodes\": {pruned_total}, \"probed_cold_decodes\": {probed_total}, \"prune_reduction_pct\": {prune_pct:.1}, \"probe_reduction_pct\": {probe_pct:.1}}},"
+    );
+    check_lines.push(("chk_pruning_pruned".to_string(), pruned_total));
+    check_lines.push(("chk_pruning_probed".to_string(), probed_total));
+
     check_lines.push(("chk_total".to_string(), check_lines.iter().map(|(_, v)| v).sum()));
     json.push_str("  \"check\": {\n");
     for (i, (key, value)) in check_lines.iter().enumerate() {
@@ -378,7 +448,10 @@ fn main() {
                 failed = true;
             }
         }
-        if failed {
+        // --update is the intentional-refresh escape hatch: it rewrites
+        // the baseline even when the check fails (that is what it is
+        // for); the CI gate runs without it.
+        if failed && !update {
             eprintln!("query_io: cold decode regression against {baseline_path}");
             std::process::exit(1);
         }

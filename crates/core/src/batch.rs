@@ -31,6 +31,7 @@
 
 use crate::engine::Engine;
 use crate::joinbased::JoinPlan;
+use crate::plan::rewrite::RuleSet;
 use crate::pool::{parallel_map, Parallelism};
 use crate::query::{ElcaVariant, Query, Semantics};
 use crate::request::{
@@ -109,10 +110,11 @@ pub fn canonicalize(req: &QueryRequest) -> QueryRequest {
         c.algorithm = QueryAlgorithm::JoinBased;
     }
     match c.algorithm {
-        // The hybrid planner takes (k, semantics) only.
+        // The hybrid planner takes (k, semantics) and — through the plan
+        // lowering — the join plan its complete route threads down, so
+        // `plan` is NOT folded here.
         QueryAlgorithm::Auto => {
             c.variant = ElcaVariant::default();
-            c.plan = JoinPlan::default();
             c.threshold = ThresholdKind::default();
             c.scores = ScoreMode::default();
         }
@@ -125,11 +127,13 @@ pub fn canonicalize(req: &QueryRequest) -> QueryRequest {
             c.plan = JoinPlan::default();
             c.variant = ElcaVariant::default();
         }
-        // The stack baseline never scores and has no join knobs.
+        // The stack baseline never scores, has no join knobs, and
+        // bypasses the plan lowering (rewrite rules cannot apply).
         QueryAlgorithm::StackBased => {
             c.scores = ScoreMode::Unranked;
             c.plan = JoinPlan::default();
             c.threshold = ThresholdKind::default();
+            c.rules = RuleSet::default();
         }
         // The indexed baseline always uses the formal variant and has no
         // join knobs.
@@ -137,6 +141,7 @@ pub fn canonicalize(req: &QueryRequest) -> QueryRequest {
             c.variant = ElcaVariant::default();
             c.plan = JoinPlan::default();
             c.threshold = ThresholdKind::default();
+            c.rules = RuleSet::default();
         }
         // RDIL treats a complete-set request as k = usize::MAX, always
         // scores, and ignores every join knob.
@@ -146,6 +151,7 @@ pub fn canonicalize(req: &QueryRequest) -> QueryRequest {
             c.plan = JoinPlan::default();
             c.threshold = ThresholdKind::default();
             c.scores = ScoreMode::default();
+            c.rules = RuleSet::default();
         }
     }
     // The ELCA exclusion variant is meaningless under SLCA.
@@ -216,6 +222,12 @@ fn tag_scores(s: ScoreMode) -> u64 {
     }
 }
 
+fn tag_rules(r: RuleSet) -> u64 {
+    u64::from(r.prune_columns)
+        | u64::from(r.push_probes) << 1
+        | u64::from(r.eliminate_noops) << 2
+}
+
 fn tag_trace(t: TraceLevel) -> u64 {
     match t {
         TraceLevel::Off => 0,
@@ -240,6 +252,7 @@ pub fn fingerprint(query: &Query, req: &QueryRequest) -> u64 {
     f.push(tag_plan(req.plan));
     f.push(tag_threshold(req.threshold));
     f.push(tag_scores(req.scores));
+    f.push(tag_rules(req.rules));
     f.push(tag_trace(req.trace));
     f.0
 }

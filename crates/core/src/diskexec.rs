@@ -37,6 +37,23 @@ use xtk_obs::{EventKind, JoinStrategy, Obs};
 /// them).
 const PAR_PROBE_MIN: usize = 256;
 
+/// The physical access-path configuration the plan lowering hands the
+/// disk executor (see `plan::lower`).  The legacy entry points run with
+/// `block_skip` on and `prescan` off — the optimized pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskJoinSpec {
+    /// Semantics, variant, scoring and parallelism of the join.
+    pub join: JoinOptions,
+    /// Allow the index-probe access path and let merge steps skip blocks
+    /// through the v2/v3 last-value footers.  Off reproduces the
+    /// plain full-scan merge join (the `push-probes` rule disabled).
+    pub block_skip: bool,
+    /// Decode every block of every level of every keyword before joining
+    /// — the paper's §III-B whole-sequence strawman (the `prune-columns`
+    /// rule disabled).  Results are unchanged; only I/O grows.
+    pub prescan: bool,
+}
+
 /// Runs Algorithm 1 against an on-disk columnar index.
 ///
 /// `ix` supplies the document tree, the JDewey directory and the scoring
@@ -70,6 +87,22 @@ pub fn join_search_disk_obs(
     opts: &JoinOptions,
     obs: &Obs,
 ) -> io::Result<(Vec<ScoredResult>, JoinStats, u64)> {
+    let spec = DiskJoinSpec { join: *opts, block_skip: true, prescan: false };
+    join_search_disk_spec(ix, store, query, &spec, obs)
+}
+
+/// [`join_search_disk_obs`] with the full access-path spec: `prescan`
+/// decodes whole sequences up front, `block_skip` gates both the
+/// index-probe path and the footer-driven merge skip.  Results are
+/// bit-identical across every spec; only the I/O counters move.
+pub fn join_search_disk_spec(
+    ix: &XmlIndex,
+    store: &DiskColumnStore,
+    query: &Query,
+    spec: &DiskJoinSpec,
+    obs: &Obs,
+) -> io::Result<(Vec<ScoredResult>, JoinStats, u64)> {
+    let opts = &spec.join;
     // Session-scoped I/O accounting: only accesses made through THIS
     // query's column handles count toward its `store.*` metrics, so
     // concurrent queries on a shared store (a parallel batch) cannot
@@ -79,9 +112,19 @@ pub fn join_search_disk_obs(
     let mut stats = JoinStats::default();
     let terms: Vec<&TermData> = query.terms.iter().map(|&t| ix.term(t)).collect();
     let k = terms.len();
-    assert!(k >= 1, "query must have at least one keyword");
-    if terms.iter().any(|t| t.is_empty()) {
+    if k == 0 || terms.iter().any(|t| t.is_empty()) {
         return Ok((Vec::new(), stats, 0));
+    }
+    if spec.prescan {
+        // Whole-sequence materialization: every level of every keyword,
+        // including the levels above `l0` the join never consumes.
+        for t in &terms {
+            for l in 1..=store.levels_of(&t.term) {
+                if let Some(col) = store.column(&t.term, l) {
+                    col.scoped(&io_session).scan()?;
+                }
+            }
+        }
     }
     let l0 = terms.iter().map(|t| store.levels_of(&t.term)).min().unwrap_or(0);
     obs.event(EventKind::QueryStart { keywords: k as u32, start_level: l0 as u32 });
@@ -93,6 +136,9 @@ pub fn join_search_disk_obs(
     // every level, only the sort key changes).
     let mut cols: Vec<DiskColumn<'_>> = Vec::with_capacity(k);
     let mut order: Vec<usize> = (0..k).collect();
+    // Probe-value scratch for the footer-skipping merge path, reused
+    // across levels and join steps.
+    let mut probe_vals: Vec<u32> = Vec::new();
 
     for l in (1..=l0).rev() {
         stats.levels += 1;
@@ -145,8 +191,9 @@ pub fn join_search_disk_obs(
             }
             let Some(col) = cols.get(i) else { continue };
             // Index join when the intermediate is much smaller than the
-            // column; a probe costs ~1 block decode (amortized).
-            let use_index = matched.len() * 16 < col.row_count();
+            // column; a probe costs ~1 block decode (amortized).  With
+            // block skipping off the plan forces the full-scan merge.
+            let use_index = spec.block_skip && matched.len() * 16 < col.row_count();
             let parallel =
                 opts.parallelism.workers() > 1 && matched.len() >= PAR_PROBE_MIN;
             let input_values = matched.len();
@@ -199,7 +246,18 @@ pub fn join_search_disk_obs(
                 }
             } else {
                 stats.merge_joins += 1;
-                let runs = col.scan()?;
+                // With block skipping the merge decodes only the blocks
+                // whose footer range covers a probed value — the decoded
+                // runs are a scan-ordered subset covering every probed
+                // value that exists, so the gallop below sees the same
+                // matches as a full scan.
+                let runs = if spec.block_skip {
+                    probe_vals.clear();
+                    probe_vals.extend(matched.iter().map(|(v, _)| *v));
+                    col.scan_matching(&probe_vals)?
+                } else {
+                    col.scan()?
+                };
                 if parallel {
                     let ranges =
                         chunk_ranges(matched.len(), phase_chunks(opts.parallelism));
@@ -369,6 +427,53 @@ mod tests {
         assert!(reads1 > 0, "cold run must hit the disk");
         let (_, _, reads2) = join_search_disk(&ix, &store, &q, &opts).unwrap();
         assert_eq!(reads2, 0, "hot-cache run decodes nothing");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn access_path_spec_never_changes_results() {
+        let xml = corpus(400);
+        let (ix, store, path) = setup(&xml);
+        let opts = JoinOptions { with_scores: true, ..Default::default() };
+        for words in [vec!["common", "rare17"], vec!["common", "topic3", "rare5"]] {
+            let q = Query::from_words(&ix, &words).unwrap();
+            let (base, _, _) = join_search_disk(&ix, &store, &q, &opts).unwrap();
+            for (block_skip, prescan) in
+                [(true, false), (false, false), (true, true), (false, true)]
+            {
+                let spec = DiskJoinSpec { join: opts, block_skip, prescan };
+                let (rs, _, _) =
+                    join_search_disk_spec(&ix, &store, &q, &spec, &Obs::default()).unwrap();
+                assert_eq!(base.len(), rs.len(), "{words:?} {block_skip} {prescan}");
+                for (a, b) in base.iter().zip(&rs) {
+                    assert_eq!(a.node, b.node);
+                    assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn prescan_decodes_strictly_more_blocks() {
+        let xml = corpus(600);
+        let (ix, _store, path) = setup(&xml);
+        let q = Query::from_words(&ix, &["common", "rare17"]).unwrap();
+        let opts = JoinOptions::default();
+        // Fresh stores per run: the shared block cache would otherwise
+        // absorb the second run's decodes.
+        let lean_store = DiskColumnStore::open(&path).unwrap();
+        let lean_spec = DiskJoinSpec { join: opts, block_skip: true, prescan: false };
+        let (_, _, lean) =
+            join_search_disk_spec(&ix, &lean_store, &q, &lean_spec, &Obs::default()).unwrap();
+        let fat_store = DiskColumnStore::open(&path).unwrap();
+        let fat_spec = DiskJoinSpec { join: opts, block_skip: false, prescan: true };
+        let (_, _, fat) =
+            join_search_disk_spec(&ix, &fat_store, &q, &fat_spec, &Obs::default()).unwrap();
+        assert!(
+            lean < fat,
+            "optimized pipeline must decode fewer blocks ({lean} vs {fat})"
+        );
         std::fs::remove_file(path).ok();
     }
 

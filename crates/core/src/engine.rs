@@ -1,27 +1,18 @@
 //! High-level façade: build an index once, run ranked keyword queries.
+//!
+//! Every query executes through [`Engine::run`] (or the
+//! [`Executor`](crate::Executor) trait): build a
+//! [`QueryRequest`](crate::QueryRequest) — builder-style or through
+//! [`QueryRequest::builder`](crate::QueryRequest::builder) — and read the
+//! results plus metrics off the [`QueryResponse`](crate::QueryResponse).
+//! The historical per-shape entry points (`search`, `top_k`, …) are gone.
 
-use crate::baseline::indexed::{indexed_search, IndexedOptions};
-use crate::baseline::rdil::{rdil_search, RdilOptions};
-use crate::baseline::stack::{stack_search, StackOptions};
-use crate::hybrid::{hybrid_topk_with, PlannedEngine};
-use crate::joinbased::{join_search, JoinOptions, JoinStats};
+use crate::joinbased::JoinOptions;
 use crate::pool::Parallelism;
-use crate::query::{Query, QueryError, Semantics};
-use crate::result::{sort_ranked, ScoredResult};
-use crate::topk::{topk_search, TopKOptions, TopKStats};
+use crate::query::{Query, QueryError};
+use crate::result::ScoredResult;
 use xtk_index::{IndexOptions, XmlIndex};
 use xtk_xml::{ParseError, XmlTree};
-
-/// Which algorithm family answers a complete-set query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    /// The paper's join-based Algorithm 1 (default).
-    JoinBased,
-    /// The stack-based DIL baseline.
-    StackBased,
-    /// The index-based baseline (formal ELCA variant).
-    IndexBased,
-}
 
 /// The entry point: an indexed XML document plus the query engines.
 ///
@@ -118,121 +109,17 @@ impl Engine {
         Query::parse(&self.ix, text)
     }
 
-    /// Complete result set, ranked by score (join-based engine).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::run with QueryRequest::complete(semantics)"
-    )]
-    pub fn search(&self, query: &Query, semantics: Semantics) -> Vec<ScoredResult> {
-        let (mut rs, _) = join_search(
-            &self.ix,
-            query,
-            &JoinOptions {
-                semantics,
-                with_scores: true,
-                parallelism: self.parallelism,
-                ..Default::default()
-            },
-        );
-        sort_ranked(&mut rs);
-        rs
-    }
-
-    /// Complete result set without scores, by any engine — for comparisons
-    /// and benchmarks.  Results are in each engine's natural order.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::run with QueryRequest::complete(semantics).unranked().with_algorithm(..)"
-    )]
-    pub fn search_unranked(
-        &self,
-        query: &Query,
-        semantics: Semantics,
-        algorithm: Algorithm,
-    ) -> Vec<ScoredResult> {
-        match algorithm {
-            Algorithm::JoinBased => join_search(
-                &self.ix,
-                query,
-                &JoinOptions { semantics, parallelism: self.parallelism, ..Default::default() },
-            )
-            .0,
-            Algorithm::StackBased => {
-                stack_search(&self.ix, query, &StackOptions { semantics, ..Default::default() })
-            }
-            Algorithm::IndexBased => {
-                indexed_search(&self.ix, query, &IndexedOptions { semantics, with_scores: false })
-            }
-        }
-    }
-
-    /// Top-K via the join-based top-K star join (§IV).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::run with QueryRequest::top_k(k, semantics).with_algorithm(QueryAlgorithm::TopKJoin)"
-    )]
-    pub fn top_k(&self, query: &Query, k: usize, semantics: Semantics) -> Vec<ScoredResult> {
-        topk_search(
-            &self.ix,
-            query,
-            &TopKOptions { k, semantics, parallelism: self.parallelism, ..Default::default() },
-        )
-        .0
-    }
-
-    /// Top-K via the §V-D hybrid planner; also reports the engine chosen.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::run with QueryRequest::top_k(k, semantics); QueryResponse::engine reports the pick"
-    )]
-    pub fn top_k_auto(
-        &self,
-        query: &Query,
-        k: usize,
-        semantics: Semantics,
-    ) -> (Vec<ScoredResult>, PlannedEngine) {
-        hybrid_topk_with(&self.ix, query, k, semantics, self.parallelism)
-    }
-
-    /// Top-K via the RDIL baseline (formal ELCA variant).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::run with QueryRequest::top_k(k, semantics).with_algorithm(QueryAlgorithm::Rdil)"
-    )]
-    pub fn top_k_rdil(&self, query: &Query, k: usize, semantics: Semantics) -> Vec<ScoredResult> {
-        rdil_search(&self.ix, query, &RdilOptions { k, semantics }).0
-    }
-
-    /// Join-based run returning the execution counters, for tooling.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::run; QueryResponse::metrics carries the join.* counters"
-    )]
-    pub fn search_with_stats(
-        &self,
-        query: &Query,
-        opts: &JoinOptions,
-    ) -> (Vec<ScoredResult>, JoinStats) {
-        join_search(&self.ix, query, opts)
-    }
-
     /// EXPLAIN: executes the query while recording the per-level join
     /// plan the dynamic optimizer chose (§III-C).
     pub fn explain(&self, query: &Query, opts: &JoinOptions) -> crate::explain::PlanReport {
         crate::explain::explain(&self.ix, query, opts)
     }
 
-    /// Top-K run returning the execution counters, for tooling.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::run; QueryResponse::metrics carries the topk.* counters"
-    )]
-    pub fn top_k_with_stats(
-        &self,
-        query: &Query,
-        opts: &TopKOptions,
-    ) -> (Vec<ScoredResult>, TopKStats) {
-        topk_search(&self.ix, query, opts)
+    /// Logical-plan EXPLAIN: the bound plan tree before and after the
+    /// rewrite rules, the rule log, and the physical plan the request
+    /// lowers to — byte-stable, without executing anything.
+    pub fn explain_plan(&self, query: &Query, req: &crate::QueryRequest) -> crate::PlanExplain {
+        crate::plan::lower::explain(&self.ix, query, req, crate::plan::lower::ExplainTarget::Memory)
     }
 
     /// Human-readable description of a result: path, level, score and a
@@ -264,10 +151,6 @@ impl Engine {
     }
 }
 
-/// Re-exported variant list so callers can iterate the engines.
-pub const ALL_ALGORITHMS: [Algorithm; 3] =
-    [Algorithm::JoinBased, Algorithm::StackBased, Algorithm::IndexBased];
-
 /// Re-export for callers matching on the hybrid's choice.
 pub use crate::hybrid::PlannedEngine as HybridChoice;
 
@@ -280,6 +163,7 @@ mod tests {
                        <author>bob</author></paper></conf>\
                        <conf><paper><title>xml top k</title></paper></conf></bib>";
 
+    use crate::query::Semantics;
     use crate::request::{QueryAlgorithm, QueryRequest};
 
     #[test]

@@ -43,6 +43,12 @@
 //!   backend, semantics and algorithm, returning results plus the unified
 //!   metrics snapshot and, on request, the deterministic execution trace
 //!   recorded by `xtk-obs`.
+//! * [`plan`] — the logical plan layer: the parsed query language
+//!   (`"xml search k=5 sem=elca rules=all"`), the plan IR
+//!   (scan/probe/join/filter/top-K/merge), result-preserving rewrite
+//!   rules (column pruning, probe pushdown, noop elimination), physical
+//!   lowering behind [`Engine::run`] and the [`Executor`] backends, and
+//!   byte-stable EXPLAIN ([`PlanExplain`]).
 //! * [`batch`] — batched serving: request dedup, a generation-stamped
 //!   result cache, cross-query prefetch pinning, and parallel execution
 //!   with input-order output ([`Engine::run_batch`]).
@@ -59,6 +65,7 @@ pub mod eraser;
 pub mod explain;
 pub mod hybrid;
 pub mod joinbased;
+pub mod plan;
 pub mod pool;
 pub mod query;
 pub mod request;
@@ -71,11 +78,14 @@ pub mod verify;
 
 pub use batch::{BatchExecutor, BatchItem, BatchOptions, BatchReport, ResultCache};
 pub use engine::Engine;
+pub use plan::{
+    ExplainTarget, ParseError, ParsedQuery, PlanError, PlanExplain, RuleSet,
+};
 pub use pool::Parallelism;
 pub use query::{ElcaVariant, Query, Semantics};
 pub use request::{
-    DiskEngine, ExecutedEngine, Executor, QueryAlgorithm, QueryRequest, QueryResponse,
-    ScoreMode,
+    DiskEngine, ExecutedEngine, Executor, QueryAlgorithm, QueryRequest,
+    QueryRequestBuilder, QueryResponse, ScoreMode,
 };
 pub use result::ScoredResult;
 pub use shard::{write_sharded, ShardedEngine};

@@ -1,0 +1,592 @@
+//! Physical lowering: rewritten logical plan → executor configuration.
+//!
+//! [`lower`] collapses the rewritten IR into an [`ExecSpec`]: which top-K
+//! execution runs ([`TopKExec`]), how the join accesses columns (the
+//! effective [`JoinPlan`], footer block skipping, whole-sequence
+//! prescan), and how the output is shaped (scoring, truncation).
+//! [`execute_memory`] and [`execute_disk`] are the lowered drivers behind
+//! [`Engine::run`](crate::Engine::run) and the on-disk
+//! [`Executor`](crate::Executor) — the procedural per-algorithm dispatch
+//! they replace lives on only for the baselines (stack, index, RDIL)
+//! that the plan does not cover.  [`explain`] renders the logical tree,
+//! the rewrite log, the rewritten tree and the physical plan byte-stably
+//! for the EXPLAIN snapshot gate.
+//!
+//! The lowering contract (DESIGN.md §14): for a fixed rule set the
+//! lowered execution returns bit-identical results to the procedural
+//! dispatch it replaced, and for any two rule sets the results are
+//! bit-identical to each other — rules move work, never answers.
+
+use crate::diskexec::{join_search_disk_spec, DiskJoinSpec};
+use crate::hybrid::{hybrid_topk_planned, PlannedEngine};
+use crate::joinbased::{join_search_obs, JoinOptions, JoinPlan};
+use crate::plan::bind;
+use crate::plan::logical::{join_plan_name, LevelRange, PlanNode, ScanMode, TopKStrategy};
+use crate::plan::rewrite::{rewrite, AppliedRule, Rewrite};
+use crate::pool::Parallelism;
+use crate::query::{ElcaVariant, Query, Semantics};
+use crate::request::{obs_for, respond, ExecutedEngine, QueryRequest, QueryResponse, ScoreMode};
+use crate::result::sort_ranked;
+use crate::topk::{topk_search_obs, ThresholdKind, TopKOptions};
+use std::fmt::Write as _;
+use std::io;
+use xtk_index::diskcol::DiskColumnStore;
+use xtk_index::XmlIndex;
+
+/// Which top-K execution the physical plan runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopKExec {
+    /// The §V-D cost-based choice between the star join and the complete
+    /// sort, decided from the cardinality estimate at run time.
+    Hybrid {
+        /// Result budget.
+        k: usize,
+    },
+    /// The §IV top-K star join, forced.
+    Star {
+        /// Result budget.
+        k: usize,
+    },
+    /// Compute the complete set (sort and truncate per the spec).
+    Complete {
+        /// True when noop elimination proved a cost-based top-K complete
+        /// (`k >=` candidate bound): the in-memory driver then emulates
+        /// the hybrid planner's complete route — scored, operational
+        /// exclusion — without paying for the cardinality estimate.
+        elided: bool,
+    },
+}
+
+/// The physical execution recipe a plan lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSpec {
+    /// Top-K execution mode.
+    pub topk: TopKExec,
+    /// ELCA or SLCA.
+    pub semantics: Semantics,
+    /// ELCA exclusion variant.
+    pub variant: ElcaVariant,
+    /// The effective join plan: the plan node's choice when probe leaves
+    /// survive (or the query is single-keyword), merge-only when the
+    /// probe pushdown is disabled.
+    pub plan: JoinPlan,
+    /// Unseen-result bound for the star join.
+    pub threshold: ThresholdKind,
+    /// Whether the complete path scores and rank-sorts its results.
+    pub scored: bool,
+    /// `Some(k)` truncates the complete path's output.
+    pub truncate: Option<usize>,
+    /// Disk: decode every block of every level of every keyword up front
+    /// (the §III-B whole-sequence strawman; true when any leaf is an
+    /// unpruned materializing scan).
+    pub prescan: bool,
+    /// Disk: probe leaves may skip blocks through the v2/v3 last-value
+    /// footers and the index-probe access path is enabled.
+    pub block_skip: bool,
+}
+
+/// Leaf census used to derive the access-path flags.
+#[derive(Default)]
+struct Census {
+    leaves: usize,
+    probes: usize,
+    materialized: usize,
+}
+
+fn leaf_census(node: &PlanNode, c: &mut Census) {
+    match node {
+        PlanNode::Scan(leaf) => {
+            c.leaves += 1;
+            if leaf.mode == ScanMode::Materialize {
+                c.materialized += 1;
+            }
+        }
+        PlanNode::IndexProbe(_) => {
+            c.leaves += 1;
+            c.probes += 1;
+        }
+        PlanNode::Join { inputs, .. } => {
+            for i in inputs {
+                leaf_census(i, c);
+            }
+        }
+        PlanNode::Filter { input, .. }
+        | PlanNode::TopK { input, .. }
+        | PlanNode::Merge { input, .. } => leaf_census(input, c),
+    }
+}
+
+/// Lowers a (rewritten) plan to its execution spec.  Nodes elided by the
+/// rewrites fall back to the request's knobs, so a collapsed join or
+/// top-K still lowers to the execution the request asked for.
+pub fn lower(plan: &PlanNode, req: &QueryRequest) -> ExecSpec {
+    let mut semantics = req.semantics;
+    let mut variant = req.variant;
+    let mut join_plan = req.plan;
+    let mut threshold = req.threshold;
+    let mut scores = req.scores;
+    let mut k = req.k;
+    let mut strategy = match (req.algorithm, req.k) {
+        (crate::request::QueryAlgorithm::Auto, Some(_)) => TopKStrategy::Auto,
+        (crate::request::QueryAlgorithm::TopKJoin, Some(_)) => TopKStrategy::StarJoin,
+        _ => TopKStrategy::SortComplete,
+    };
+    let mut bound = None;
+    let mut node = plan;
+    loop {
+        match node {
+            PlanNode::TopK {
+                input,
+                k: nk,
+                strategy: ns,
+                threshold: nt,
+                scores: nsc,
+                bound: nb,
+            } => {
+                k = *nk;
+                strategy = *ns;
+                threshold = *nt;
+                scores = *nsc;
+                bound = *nb;
+                node = input;
+            }
+            PlanNode::Merge { input, .. } => node = input,
+            PlanNode::Filter { input, semantics: s, variant: v } => {
+                semantics = *s;
+                variant = *v;
+                node = input;
+            }
+            PlanNode::Join { plan: p, .. } => {
+                join_plan = *p;
+                break;
+            }
+            PlanNode::Scan(_) | PlanNode::IndexProbe(_) => break,
+        }
+    }
+    let mut census = Census::default();
+    leaf_census(plan, &mut census);
+    // No surviving probe leaves on a multi-keyword join: the pushdown is
+    // off, so the physical join must not take the index-probe path.
+    let plan_effective = if census.probes == 0 && census.leaves >= 2 {
+        JoinPlan::MergeOnly
+    } else {
+        join_plan
+    };
+    let scored = scores == ScoreMode::Ranked;
+    let topk = match (strategy, k) {
+        (TopKStrategy::Auto, Some(k)) => TopKExec::Hybrid { k },
+        (TopKStrategy::StarJoin, Some(k)) => TopKExec::Star { k },
+        (TopKStrategy::SortComplete, _)
+        | (TopKStrategy::Auto | TopKStrategy::StarJoin, None) => {
+            TopKExec::Complete { elided: bound.is_some() }
+        }
+    };
+    ExecSpec {
+        topk,
+        semantics,
+        variant,
+        plan: plan_effective,
+        threshold,
+        scored,
+        truncate: k,
+        prescan: census.materialized > 0,
+        block_skip: census.probes > 0,
+    }
+}
+
+/// Binds the logical plan for `query`, rewrites it under the request's
+/// rule set (the candidate bound comes from the in-memory columns) and
+/// lowers it.
+pub(crate) fn lower_query(ix: &XmlIndex, query: &Query, req: &QueryRequest) -> ExecSpec {
+    let logical = bind::logical_plan(ix, query, req);
+    let bound = bind::candidate_bound(ix, query);
+    let rw: Rewrite = rewrite(logical, req.rules, Some(bound));
+    lower(&rw.plan, req)
+}
+
+/// The lowered in-memory driver for the join-family algorithms (Auto,
+/// JoinBased, TopKJoin).  The baselines keep their procedural dispatch in
+/// `request.rs`.
+pub(crate) fn execute_memory(
+    ix: &XmlIndex,
+    parallelism: Parallelism,
+    query: &Query,
+    req: &QueryRequest,
+) -> QueryResponse {
+    let spec = lower_query(ix, query, req);
+    let obs = obs_for(req);
+    match spec.topk {
+        TopKExec::Hybrid { k } => {
+            let (rs, planned) =
+                hybrid_topk_planned(ix, query, k, spec.semantics, parallelism, spec.plan, &obs);
+            let engine = match planned {
+                PlannedEngine::TopKJoin => ExecutedEngine::TopKJoin,
+                PlannedEngine::CompleteJoin => ExecutedEngine::JoinBased,
+            };
+            respond(obs, rs, engine)
+        }
+        TopKExec::Star { k } => {
+            let opts = TopKOptions {
+                k,
+                semantics: spec.semantics,
+                threshold: spec.threshold,
+                parallelism,
+            };
+            let (rs, _) = topk_search_obs(ix, query, &opts, &obs);
+            respond(obs, rs, ExecutedEngine::TopKJoin)
+        }
+        TopKExec::Complete { elided } => {
+            // An elided cost-based top-K reproduces the hybrid planner's
+            // complete route bit for bit: scored, operational exclusion.
+            let (with_scores, variant) =
+                if elided { (true, ElcaVariant::Operational) } else { (spec.scored, spec.variant) };
+            let opts = JoinOptions {
+                semantics: spec.semantics,
+                variant,
+                plan: spec.plan,
+                with_scores,
+                parallelism,
+            };
+            let (mut rs, _) = join_search_obs(ix, query, &opts, &obs);
+            if with_scores {
+                sort_ranked(&mut rs);
+            }
+            if let Some(k) = spec.truncate {
+                rs.truncate(k);
+            }
+            respond(obs, rs, ExecutedEngine::JoinBased)
+        }
+    }
+}
+
+/// The [`DiskJoinSpec`] a lowered spec drives the disk executor with.
+pub(crate) fn disk_join_spec(spec: &ExecSpec, parallelism: Parallelism) -> DiskJoinSpec {
+    DiskJoinSpec {
+        join: JoinOptions {
+            semantics: spec.semantics,
+            variant: spec.variant,
+            plan: spec.plan,
+            with_scores: spec.scored,
+            parallelism,
+        },
+        block_skip: spec.block_skip,
+        prescan: spec.prescan,
+    }
+}
+
+/// The lowered on-disk driver.  The disk executor implements the
+/// join-based algorithm only, so a cost-based top-K lowers to the
+/// complete join (sort + truncate) exactly as [`DiskEngine`] always has,
+/// and a forced star join is rejected.
+///
+/// [`DiskEngine`]: crate::DiskEngine
+pub(crate) fn execute_disk(
+    ix: &XmlIndex,
+    store: &DiskColumnStore,
+    parallelism: Parallelism,
+    query: &Query,
+    req: &QueryRequest,
+) -> io::Result<QueryResponse> {
+    let spec = lower_query(ix, query, req);
+    if let TopKExec::Star { .. } = spec.topk {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the on-disk executor implements the join-based algorithm only",
+        ));
+    }
+    let obs = obs_for(req);
+    let dspec = disk_join_spec(&spec, parallelism);
+    let (mut rs, _, _) = join_search_disk_spec(ix, store, query, &dspec, &obs)?;
+    if spec.scored {
+        sort_ranked(&mut rs);
+    }
+    if let Some(k) = spec.truncate {
+        rs.truncate(k);
+    }
+    Ok(respond(obs, rs, ExecutedEngine::JoinBased))
+}
+
+/// Which backend an EXPLAIN renders the physical plan for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainTarget {
+    /// The in-memory engine.
+    Memory,
+    /// The single-store disk engine.
+    Disk,
+    /// The sharded scatter-gather engine.
+    Sharded {
+        /// Shard count.
+        shards: usize,
+        /// Whether the TA-style bound prunes dominated shards.
+        ta_prune: bool,
+    },
+}
+
+/// A full EXPLAIN: the plan before and after rewriting, the rewrite log,
+/// and the physical plan it lowers to.  Every field renders byte-stably,
+/// so the whole report can be snapshot-gated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExplain {
+    /// The binder's unrewritten logical tree.
+    pub logical: String,
+    /// The rule applications, in firing order.
+    pub applied: Vec<AppliedRule>,
+    /// The tree after all enabled rules.
+    pub rewritten: String,
+    /// The physical plan (ExecTopK/ExecMerge/ExecJoin/ExecScan/ExecProbe).
+    pub physical: String,
+}
+
+impl std::fmt::Display for PlanExplain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== logical plan ==")?;
+        f.write_str(&self.logical)?;
+        writeln!(f, "== rewrites ==")?;
+        if self.applied.is_empty() {
+            writeln!(f, "(none)")?;
+        }
+        for a in &self.applied {
+            writeln!(f, "{}: {}", a.rule, a.detail)?;
+        }
+        writeln!(f, "== rewritten plan ==")?;
+        f.write_str(&self.rewritten)?;
+        writeln!(f, "== physical plan ==")?;
+        f.write_str(&self.physical)
+    }
+}
+
+/// Builds the EXPLAIN report for a bound query against `target`.
+pub fn explain(
+    ix: &XmlIndex,
+    query: &Query,
+    req: &QueryRequest,
+    target: ExplainTarget,
+) -> PlanExplain {
+    let mut logical = bind::logical_plan(ix, query, req);
+    if let ExplainTarget::Sharded { shards, ta_prune } = target {
+        logical = insert_merge(logical, shards, ta_prune);
+    }
+    let bound = bind::candidate_bound(ix, query);
+    let logical_render = logical.render();
+    let rw = rewrite(logical, req.rules, Some(bound));
+    let spec = lower(&rw.plan, req);
+    let physical = render_physical(&spec, &rw.plan, target);
+    PlanExplain {
+        logical: logical_render,
+        applied: rw.applied,
+        rewritten: rw.plan.render(),
+        physical,
+    }
+}
+
+/// Wraps the scatter-gather merge between the top-K gather and the
+/// per-shard pipeline, mirroring where the sharded engine merges.
+fn insert_merge(plan: PlanNode, shards: usize, ta_prune: bool) -> PlanNode {
+    match plan {
+        PlanNode::TopK { input, k, strategy, threshold, scores, bound } => PlanNode::TopK {
+            input: Box::new(PlanNode::Merge { input, shards, ta_prune }),
+            k,
+            strategy,
+            threshold,
+            scores,
+            bound,
+        },
+        other => PlanNode::Merge { input: Box::new(other), shards, ta_prune },
+    }
+}
+
+fn onoff(b: bool) -> &'static str {
+    if b {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+/// Renders the physical plan, byte-stable (no floats, no hash order, no
+/// parallelism — the same request renders identically on any machine).
+pub fn render_physical(spec: &ExecSpec, rewritten: &PlanNode, target: ExplainTarget) -> String {
+    let mut out = String::new();
+    let target_name = match target {
+        ExplainTarget::Memory => "memory",
+        ExplainTarget::Disk => "disk",
+        ExplainTarget::Sharded { .. } => "sharded",
+    };
+    let thr = match spec.threshold {
+        ThresholdKind::Tight => "tight",
+        ThresholdKind::Classic => "classic",
+    };
+    let mode = match spec.topk {
+        TopKExec::Star { k } => format!("star-join k={k} threshold={thr}"),
+        TopKExec::Hybrid { k } => match target {
+            ExplainTarget::Memory => format!("hybrid k={k}"),
+            // The disk and sharded executors have no star join: the
+            // cost-based choice degenerates to the complete sort.
+            _ => format!("sort-complete k={k}"),
+        },
+        TopKExec::Complete { elided } => {
+            let memory = matches!(target, ExplainTarget::Memory);
+            let mut s = String::from(if spec.scored || (elided && memory) {
+                "sort-complete"
+            } else {
+                "complete"
+            });
+            if let Some(k) = spec.truncate {
+                let _ = write!(s, " k={k}");
+            }
+            if elided && memory {
+                s.push_str(" (hybrid elided)");
+            }
+            s
+        }
+    };
+    let _ = writeln!(out, "ExecTopK: target={target_name} mode={mode}");
+    let mut depth = 1usize;
+    if let ExplainTarget::Sharded { shards, ta_prune } = target {
+        let _ = writeln!(out, "  ExecMerge: shards={shards} ta-prune={}", onoff(ta_prune));
+        depth = 2;
+    }
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = writeln!(
+        out,
+        "ExecJoin: plan={} semantics={} variant={} scored={} block-skip={} prescan={}",
+        join_plan_name(spec.plan),
+        match spec.semantics {
+            Semantics::Elca => "elca",
+            Semantics::Slca => "slca",
+        },
+        match spec.variant {
+            ElcaVariant::Operational => "operational",
+            ElcaVariant::Formal => "formal",
+        },
+        if spec.scored { "yes" } else { "no" },
+        onoff(spec.block_skip),
+        onoff(spec.prescan),
+    );
+    render_leaves(rewritten, &mut out, depth + 1);
+    out
+}
+
+fn render_leaves(node: &PlanNode, out: &mut String, depth: usize) {
+    match node {
+        PlanNode::Scan(leaf) => {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            let mode = match leaf.mode {
+                ScanMode::Materialize => "materialize",
+                ScanMode::Stream => "stream",
+            };
+            let _ = writeln!(
+                out,
+                "ExecScan: term=\"{}\" levels={} mode={mode}",
+                leaf.name,
+                LevelRange(leaf.levels)
+            );
+        }
+        PlanNode::IndexProbe(leaf) => {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            let _ = writeln!(
+                out,
+                "ExecProbe: term=\"{}\" levels={} skip=footers",
+                leaf.name,
+                LevelRange(leaf.levels)
+            );
+        }
+        PlanNode::Join { inputs, .. } => {
+            for i in inputs {
+                render_leaves(i, out, depth);
+            }
+        }
+        PlanNode::Filter { input, .. }
+        | PlanNode::TopK { input, .. }
+        | PlanNode::Merge { input, .. } => render_leaves(input, out, depth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::rewrite::RuleSet;
+    use xtk_xml::parse as parse_xml;
+
+    fn ix() -> XmlIndex {
+        XmlIndex::build(
+            parse_xml(
+                "<bib><conf><paper><title>xml keyword search</title></paper>\
+                 <paper><title>top k search</title></paper></conf></bib>",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn bound(ix: &XmlIndex, text: &str) -> (Query, QueryRequest) {
+        bind::compile(ix, text, &QueryRequest::default()).unwrap()
+    }
+
+    #[test]
+    fn default_rules_lower_to_the_probing_pipeline() {
+        let ix = ix();
+        let (q, req) = bound(&ix, "xml search k=2");
+        let spec = lower_query(&ix, &q, &req);
+        assert_eq!(spec.topk, TopKExec::Hybrid { k: 2 });
+        assert!(spec.block_skip, "pushdown fired");
+        assert!(!spec.prescan, "no whole-sequence reads");
+        assert_eq!(spec.plan, JoinPlan::Dynamic);
+    }
+
+    #[test]
+    fn no_rules_lower_to_the_strawman_pipeline() {
+        let ix = ix();
+        let (q, mut req) = bound(&ix, "xml search k=2");
+        req.rules = RuleSet::none();
+        let spec = lower_query(&ix, &q, &req);
+        assert!(!spec.block_skip);
+        assert!(spec.prescan, "materializing scans survive");
+        assert_eq!(spec.plan, JoinPlan::MergeOnly, "no probe access path");
+        assert!(explain(&ix, &q, &req, ExplainTarget::Memory).applied.is_empty());
+    }
+
+    #[test]
+    fn elision_emulates_the_hybrid_complete_route() {
+        let ix = ix();
+        // k far above anything the corpus can produce: elim must fire.
+        let (q, req) = bound(&ix, "xml search k=1000");
+        let spec = lower_query(&ix, &q, &req);
+        assert_eq!(spec.topk, TopKExec::Complete { elided: true });
+        let on = execute_memory(&ix, Parallelism::Serial, &q, &req);
+        let mut off_req = req;
+        off_req.rules = RuleSet::none();
+        let off = execute_memory(&ix, Parallelism::Serial, &q, &off_req);
+        assert_eq!(on.engine, off.engine);
+        assert_eq!(on.results.len(), off.results.len());
+        for (a, b) in on.results.iter().zip(&off.results) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn explain_is_byte_stable_and_sectioned() {
+        let ix = ix();
+        let (q, req) = bound(&ix, "xml search k=2");
+        let a = explain(&ix, &q, &req, ExplainTarget::Memory).to_string();
+        let b = explain(&ix, &q, &req, ExplainTarget::Memory).to_string();
+        assert_eq!(a, b);
+        for section in
+            ["== logical plan ==", "== rewrites ==", "== rewritten plan ==", "== physical plan =="]
+        {
+            assert!(a.contains(section), "{a}");
+        }
+        assert!(a.contains("ExecProbe:"), "{a}");
+        let sharded =
+            explain(&ix, &q, &req, ExplainTarget::Sharded { shards: 3, ta_prune: true })
+                .to_string();
+        assert!(sharded.contains("ExecMerge: shards=3 ta-prune=on"), "{sharded}");
+        assert!(sharded.contains("LogicalMerge: shards=3"), "{sharded}");
+    }
+}

@@ -1,0 +1,37 @@
+//! The logical plan layer: parsed query strings, a rewriteable IR, and
+//! physical lowering.
+//!
+//! The pipeline a query string flows through:
+//!
+//! ```text
+//! "xml search k=5 sem=elca"
+//!    │  parse            (plan::parse — typed errors, source spans)
+//!    ▼
+//! ParsedQuery ── bind ──► (Query, QueryRequest)     (plan::bind)
+//!    │  logical_plan
+//!    ▼
+//! LogicalTopK ▸ LogicalFilter ▸ LogicalJoin ▸ scans (plan::logical)
+//!    │  rewrite: prune-columns, push-probes, eliminate-noops
+//!    ▼
+//! rewritten plan + AppliedRule log                  (plan::rewrite)
+//!    │  lower
+//!    ▼
+//! ExecSpec → memory / disk / sharded drivers        (plan::lower)
+//! ```
+//!
+//! Every rewrite rule is result-preserving: for any engine, parallelism
+//! and cache configuration the rewritten plan answers bit-identically to
+//! the unrewritten one.  EXPLAIN ([`PlanExplain`]) renders each stage
+//! byte-stably for snapshot gating.
+
+pub mod bind;
+pub mod logical;
+pub mod lower;
+pub mod parse;
+pub mod rewrite;
+
+pub use bind::{candidate_bound, compile, logical_plan, PlanError};
+pub use logical::{PlanNode, ScanLeaf, ScanMode, TopKStrategy};
+pub use lower::{explain, lower, ExecSpec, ExplainTarget, PlanExplain, TopKExec};
+pub use parse::{parse, ParseError, ParsedQuery, Span};
+pub use rewrite::{rewrite as rewrite_plan, AppliedRule, Rewrite, RuleSet};

@@ -19,14 +19,13 @@
 use crate::baseline::indexed::{indexed_search, IndexedOptions};
 use crate::baseline::rdil::{rdil_search, RdilOptions};
 use crate::baseline::stack::{stack_search, StackOptions};
-use crate::diskexec::join_search_disk_obs;
 use crate::engine::Engine;
-use crate::hybrid::{hybrid_topk_obs, PlannedEngine};
-use crate::joinbased::{join_search_obs, JoinOptions, JoinPlan};
+use crate::joinbased::JoinPlan;
+use crate::plan::rewrite::RuleSet;
 use crate::pool::Parallelism;
 use crate::query::{ElcaVariant, Query, Semantics};
 use crate::result::{sort_ranked, ScoredResult};
-use crate::topk::{topk_search_obs, ThresholdKind, TopKOptions};
+use crate::topk::ThresholdKind;
 use std::io;
 use xtk_index::diskcol::DiskColumnStore;
 use xtk_index::{TermId, XmlIndex};
@@ -78,6 +77,7 @@ pub enum ScoreMode {
 /// assert_eq!(req.k, Some(10));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct QueryRequest {
     /// ELCA or SLCA.
     pub semantics: Semantics,
@@ -97,6 +97,9 @@ pub struct QueryRequest {
     /// How much to record: `Off` (metrics only — they are always
     /// collected), or `Events` for the full deterministic trace.
     pub trace: TraceLevel,
+    /// Which plan-rewrite rules run (all by default — the optimized
+    /// pipeline; see [`RuleSet`]).  Every subset answers bit-identically.
+    pub rules: RuleSet,
 }
 
 impl Default for QueryRequest {
@@ -110,6 +113,7 @@ impl Default for QueryRequest {
             threshold: ThresholdKind::Tight,
             scores: ScoreMode::Ranked,
             trace: TraceLevel::Off,
+            rules: RuleSet::all(),
         }
     }
 }
@@ -161,18 +165,106 @@ impl QueryRequest {
         self
     }
 
+    /// Selects which plan-rewrite rules run.
+    pub fn with_rules(mut self, rules: RuleSet) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Starts a fluent builder from the default request.  Since
+    /// [`QueryRequest`] is `#[non_exhaustive]`, this (or the `with_*`
+    /// combinators) is how out-of-crate callers construct one.
+    ///
+    /// ```
+    /// use xtk_core::{QueryAlgorithm, QueryRequest, Semantics};
+    ///
+    /// let req = QueryRequest::builder()
+    ///     .semantics(Semantics::Slca)
+    ///     .k(10)
+    ///     .algorithm(QueryAlgorithm::JoinBased)
+    ///     .build();
+    /// assert_eq!(req.k, Some(10));
+    /// ```
+    pub fn builder() -> QueryRequestBuilder {
+        QueryRequestBuilder { req: Self::default() }
+    }
+
     fn ranked(&self) -> bool {
         self.scores == ScoreMode::Ranked
     }
+}
 
-    fn join_options(&self, parallelism: Parallelism) -> JoinOptions {
-        JoinOptions {
-            semantics: self.semantics,
-            variant: self.variant,
-            plan: self.plan,
-            with_scores: self.ranked(),
-            parallelism,
-        }
+/// Fluent constructor for [`QueryRequest`] (see
+/// [`QueryRequest::builder`]).
+#[derive(Debug, Clone)]
+pub struct QueryRequestBuilder {
+    req: QueryRequest,
+}
+
+impl QueryRequestBuilder {
+    /// ELCA or SLCA.
+    pub fn semantics(mut self, semantics: Semantics) -> Self {
+        self.req.semantics = semantics;
+        self
+    }
+
+    /// Truncate to the `k` best results.
+    pub fn k(mut self, k: usize) -> Self {
+        self.req.k = Some(k);
+        self
+    }
+
+    /// Compute the complete set (the default).
+    pub fn complete_set(mut self) -> Self {
+        self.req.k = None;
+        self
+    }
+
+    /// Which engine runs it.
+    pub fn algorithm(mut self, algorithm: QueryAlgorithm) -> Self {
+        self.req.algorithm = algorithm;
+        self
+    }
+
+    /// ELCA exclusion variant.
+    pub fn variant(mut self, variant: ElcaVariant) -> Self {
+        self.req.variant = variant;
+        self
+    }
+
+    /// Join-plan selection.
+    pub fn plan(mut self, plan: JoinPlan) -> Self {
+        self.req.plan = plan;
+        self
+    }
+
+    /// Unseen-result bound for the top-K star join.
+    pub fn threshold(mut self, threshold: ThresholdKind) -> Self {
+        self.req.threshold = threshold;
+        self
+    }
+
+    /// Ranked or unranked results.
+    pub fn scores(mut self, scores: ScoreMode) -> Self {
+        self.req.scores = scores;
+        self
+    }
+
+    /// Observability level.
+    pub fn trace(mut self, trace: TraceLevel) -> Self {
+        self.req.trace = trace;
+        self
+    }
+
+    /// Which plan-rewrite rules run.
+    pub fn rules(mut self, rules: RuleSet) -> Self {
+        self.req.rules = rules;
+        self
+    }
+
+    /// Finishes the request.
+    pub fn build(self) -> QueryRequest {
+        self.req
     }
 }
 
@@ -193,6 +285,7 @@ pub enum ExecutedEngine {
 
 /// Results plus the unified observability payload of one execution.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct QueryResponse {
     /// The results (rank order when [`ScoreMode::Ranked`], the engine's
     /// emission order otherwise).
@@ -233,56 +326,18 @@ fn run_in_memory(
     query: &Query,
     req: &QueryRequest,
 ) -> QueryResponse {
+    // The join family (Auto, JoinBased, TopKJoin) executes through the
+    // logical plan: bind → rewrite → lower → run.  The baselines below
+    // sit outside the plan IR and keep their procedural dispatch.
+    match req.algorithm {
+        QueryAlgorithm::Auto | QueryAlgorithm::JoinBased | QueryAlgorithm::TopKJoin => {
+            return crate::plan::lower::execute_memory(ix, parallelism, query, req);
+        }
+        QueryAlgorithm::StackBased | QueryAlgorithm::IndexBased | QueryAlgorithm::Rdil => {}
+    }
     let obs = obs_for(req);
-    let complete_join = |obs: &Obs| {
-        let (mut rs, _) = join_search_obs(ix, query, &req.join_options(parallelism), obs);
-        if req.ranked() {
-            sort_ranked(&mut rs);
-        }
-        if let Some(k) = req.k {
-            rs.truncate(k);
-        }
-        rs
-    };
-    match (req.algorithm, req.k) {
-        (QueryAlgorithm::Auto, Some(k)) => {
-            let (rs, planned) =
-                hybrid_topk_obs(ix, query, k, req.semantics, parallelism, &obs);
-            let engine = match planned {
-                PlannedEngine::TopKJoin => ExecutedEngine::TopKJoin,
-                PlannedEngine::CompleteJoin => ExecutedEngine::JoinBased,
-            };
-            respond(obs, rs, engine)
-        }
-        (QueryAlgorithm::Auto | QueryAlgorithm::JoinBased, _)
-        | (QueryAlgorithm::TopKJoin, None) => {
-            let rs = complete_join(&obs);
-            respond(obs, rs, ExecutedEngine::JoinBased)
-        }
-        (QueryAlgorithm::TopKJoin, Some(k)) => {
-            let opts = TopKOptions {
-                k,
-                semantics: req.semantics,
-                threshold: req.threshold,
-                parallelism,
-            };
-            let (rs, _) = topk_search_obs(ix, query, &opts, &obs);
-            respond(obs, rs, ExecutedEngine::TopKJoin)
-        }
-        (QueryAlgorithm::StackBased, _) => {
-            // The stack-based system is an unranked complete-set baseline;
-            // scores are not computed regardless of `ScoreMode`.
-            let mut rs = stack_search(
-                ix,
-                query,
-                &StackOptions { semantics: req.semantics, variant: req.variant },
-            );
-            if let Some(k) = req.k {
-                rs.truncate(k);
-            }
-            respond(obs, rs, ExecutedEngine::StackBased)
-        }
-        (QueryAlgorithm::IndexBased, _) => {
+    match req.algorithm {
+        QueryAlgorithm::IndexBased => {
             let mut rs = indexed_search(
                 ix,
                 query,
@@ -296,16 +351,31 @@ fn run_in_memory(
             }
             respond(obs, rs, ExecutedEngine::IndexBased)
         }
-        (QueryAlgorithm::Rdil, k) => {
+        QueryAlgorithm::Rdil => {
             // RDIL is inherently top-K; a complete-set request asks for
             // every result (bounded by the candidate population).
-            let k = k.unwrap_or(usize::MAX);
+            let k = req.k.unwrap_or(usize::MAX);
             let (rs, stats) =
                 rdil_search(ix, query, &RdilOptions { k, semantics: req.semantics });
             obs.metrics.add("rdil.pops", stats.pops);
             obs.metrics.add("rdil.evaluated", stats.evaluated);
             obs.metrics.add("rdil.emitted_early", stats.emitted_early);
             respond(obs, rs, ExecutedEngine::Rdil)
+        }
+        _ => {
+            // The stack-based system is an unranked complete-set baseline;
+            // scores are not computed regardless of `ScoreMode`.  (The
+            // join family returned through the plan lowering above, so
+            // this wildcard is only ever StackBased.)
+            let mut rs = stack_search(
+                ix,
+                query,
+                &StackOptions { semantics: req.semantics, variant: req.variant },
+            );
+            if let Some(k) = req.k {
+                rs.truncate(k);
+            }
+            respond(obs, rs, ExecutedEngine::StackBased)
         }
     }
 }
@@ -438,21 +508,13 @@ impl Executor for DiskEngine<'_> {
     fn execute(&self, query: &Query, req: &QueryRequest) -> io::Result<QueryResponse> {
         match req.algorithm {
             QueryAlgorithm::Auto | QueryAlgorithm::JoinBased => {
-                let obs = obs_for(req);
-                let (mut rs, _, _) = join_search_disk_obs(
+                crate::plan::lower::execute_disk(
                     self.ix,
                     self.store,
+                    self.parallelism,
                     query,
-                    &req.join_options(self.parallelism),
-                    &obs,
-                )?;
-                if req.ranked() {
-                    sort_ranked(&mut rs);
-                }
-                if let Some(k) = req.k {
-                    rs.truncate(k);
-                }
-                Ok(respond(obs, rs, ExecutedEngine::JoinBased))
+                    req,
+                )
             }
             _ => Err(io::Error::new(
                 io::ErrorKind::Unsupported,

@@ -53,7 +53,7 @@
 //! remaining shard can alter the top-K, so the gather stops early.  The
 //! threshold is the classic TA stopping rule lifted from rows to shards.
 
-use crate::diskexec::{join_search_disk_obs, prefetch_terms, release_terms};
+use crate::diskexec::{join_search_disk_spec, prefetch_terms, release_terms, DiskJoinSpec};
 use crate::joinbased::JoinOptions;
 use crate::pool::{parallel_map, Parallelism};
 use crate::query::Query;
@@ -412,6 +412,21 @@ impl<'a> ShardedEngine<'a> {
         self.shards.len()
     }
 
+    /// Logical-plan EXPLAIN for this topology: the bound plan (with the
+    /// scatter-gather `Merge` stage), the rewrite log, and the physical
+    /// plan each shard lowers to — byte-stable, without executing.
+    pub fn explain_plan(&self, query: &Query, req: &QueryRequest) -> crate::PlanExplain {
+        crate::plan::lower::explain(
+            self.ix,
+            query,
+            req,
+            crate::plan::lower::ExplainTarget::Sharded {
+                shards: self.shards.len(),
+                ta_prune: self.prune,
+            },
+        )
+    }
+
     /// The document range (root-child indices) of shard `id`.
     pub fn shard_docs(&self, id: usize) -> Option<Range<usize>> {
         self.shards.get(id).map(|s| s.docs.clone())
@@ -428,24 +443,20 @@ impl<'a> ShardedEngine<'a> {
 
     /// Executes `local` inside one shard (serial), translating results
     /// back to global node ids and dropping level-1 partition artifacts.
+    /// The physical spec is lowered once per query from the logical plan
+    /// (against the global index) and shared by every shard.
     fn run_shard(
         &self,
         shard: &Shard,
         local: &Query,
+        spec: &DiskJoinSpec,
         req: &QueryRequest,
     ) -> io::Result<ShardOutcome> {
         let obs = Obs {
             metrics: MetricsRegistry::new(),
             tracer: Tracer::for_level(req.trace),
         };
-        let opts = JoinOptions {
-            semantics: req.semantics,
-            variant: req.variant,
-            plan: req.plan,
-            with_scores: true,
-            parallelism: Parallelism::Serial,
-        };
-        let (rs, _, _) = join_search_disk_obs(&shard.ix, &shard.store, local, &opts, &obs)?;
+        let (rs, _, _) = join_search_disk_spec(&shard.ix, &shard.store, local, spec, &obs)?;
         let mut results = Vec::with_capacity(rs.len());
         for r in rs {
             if r.level <= 1 {
@@ -512,6 +523,23 @@ impl Executor for ShardedEngine<'_> {
             tracer: Tracer::for_level(req.trace),
         };
 
+        // Lower the logical plan once against the global index; every
+        // shard executes the same physical spec (the rewrite rules see
+        // the global run statistics, so the spec — and the merged
+        // response — is shard-topology-invariant).
+        let lowered = crate::plan::lower::lower_query(self.ix, query, req);
+        let spec = DiskJoinSpec {
+            join: JoinOptions {
+                semantics: lowered.semantics,
+                variant: lowered.variant,
+                plan: lowered.plan,
+                with_scores: true,
+                parallelism: Parallelism::Serial,
+            },
+            block_skip: lowered.block_skip,
+            prescan: lowered.prescan,
+        };
+
         // Plan: translate the query per shard; a shard missing any term
         // cannot produce a conjunctive match and is skipped outright.
         // Eligible shards are ordered by their TA upper bound (sum of
@@ -569,7 +597,7 @@ impl Executor for ShardedEngine<'_> {
             }
             let outcomes = parallel_map(self.parallelism, wave, |_, p| {
                 match self.shards.get(p.shard) {
-                    Some(shard) => self.run_shard(shard, &p.local, req),
+                    Some(shard) => self.run_shard(shard, &p.local, &spec, req),
                     None => Err(invalid("scatter plan shard out of range")),
                 }
             });

@@ -1,15 +1,17 @@
-//! Differential tests for the unified request API: the deprecated
-//! `Engine` entry points and `Engine::run` must return **bit-identical**
-//! results (nodes, order, score bits) for every semantics × algorithm ×
-//! parallelism combination, and the recorded trace must be identical
-//! across `Parallelism` settings.
+//! Differential tests for the unified request API: `Engine::run` must
+//! return **bit-identical** results (nodes, order, score bits) to the
+//! underlying algorithm entry points it lowers to, for every semantics ×
+//! algorithm × parallelism combination, and the recorded trace must be
+//! identical across `Parallelism` settings.
 
-#![allow(deprecated)]
-
-use xtk_core::engine::Algorithm;
-use xtk_core::joinbased::JoinOptions;
+use xtk_core::baseline::indexed::{indexed_search, IndexedOptions};
+use xtk_core::baseline::rdil::{rdil_search, RdilOptions};
+use xtk_core::baseline::stack::{stack_search, StackOptions};
+use xtk_core::hybrid::hybrid_topk_with;
+use xtk_core::joinbased::{join_search, JoinOptions};
 use xtk_core::request::{DiskEngine, Executor, QueryAlgorithm, QueryRequest};
-use xtk_core::topk::TopKOptions;
+use xtk_core::result::sort_ranked;
+use xtk_core::topk::{topk_search, TopKOptions};
 use xtk_core::{ElcaVariant, Engine, Parallelism, ScoredResult, Semantics, TraceLevel};
 
 fn corpus() -> String {
@@ -37,13 +39,23 @@ const PAR: [Parallelism; 2] = [Parallelism::Serial, Parallelism::Auto];
 const SEM: [Semantics; 2] = [Semantics::Elca, Semantics::Slca];
 
 #[test]
-fn search_equals_run_complete() {
+fn run_complete_equals_join_search() {
     let e = Engine::from_xml(&corpus()).unwrap();
     let q = e.query("xml search").unwrap();
     for par in PAR {
         let e = Engine::from_xml(&corpus()).unwrap().with_parallelism(par);
         for sem in SEM {
-            let old = e.search(&q, sem);
+            let (mut old, _) = join_search(
+                e.index(),
+                &q,
+                &JoinOptions {
+                    semantics: sem,
+                    with_scores: true,
+                    parallelism: par,
+                    ..Default::default()
+                },
+            );
+            sort_ranked(&mut old);
             let new = e
                 .run(&q, &QueryRequest::complete(sem).with_algorithm(QueryAlgorithm::JoinBased))
                 .results;
@@ -53,27 +65,48 @@ fn search_equals_run_complete() {
 }
 
 #[test]
-fn search_unranked_equals_run_for_every_algorithm() {
+fn run_unranked_equals_every_raw_engine() {
     let e = Engine::from_xml(&corpus()).unwrap();
     let q = e.query("xml keyword").unwrap();
-    let pairs = [
-        (Algorithm::JoinBased, QueryAlgorithm::JoinBased),
-        (Algorithm::StackBased, QueryAlgorithm::StackBased),
-        (Algorithm::IndexBased, QueryAlgorithm::IndexBased),
-    ];
     for sem in SEM {
-        for (old_alg, new_alg) in pairs {
-            let old = e.search_unranked(&q, sem, old_alg);
+        let raw: [(QueryAlgorithm, Vec<ScoredResult>); 3] = [
+            (
+                QueryAlgorithm::JoinBased,
+                join_search(
+                    e.index(),
+                    &q,
+                    &JoinOptions { semantics: sem, ..Default::default() },
+                )
+                .0,
+            ),
+            (
+                QueryAlgorithm::StackBased,
+                stack_search(
+                    e.index(),
+                    &q,
+                    &StackOptions { semantics: sem, ..Default::default() },
+                ),
+            ),
+            (
+                QueryAlgorithm::IndexBased,
+                indexed_search(
+                    e.index(),
+                    &q,
+                    &IndexedOptions { semantics: sem, with_scores: false },
+                ),
+            ),
+        ];
+        for (alg, old) in raw {
             let new = e
-                .run(&q, &QueryRequest::complete(sem).unranked().with_algorithm(new_alg))
+                .run(&q, &QueryRequest::complete(sem).unranked().with_algorithm(alg))
                 .results;
-            assert_eq!(bits(&old), bits(&new), "{sem:?} {new_alg:?}");
+            assert_eq!(bits(&old), bits(&new), "{sem:?} {alg:?}");
         }
     }
 }
 
 #[test]
-fn top_k_family_equals_run() {
+fn top_k_family_equals_raw_engines() {
     let q_text = "top join";
     for par in PAR {
         let e = Engine::from_xml(&corpus()).unwrap().with_parallelism(par);
@@ -81,15 +114,20 @@ fn top_k_family_equals_run() {
         for sem in SEM {
             for k in [1, 5, 50] {
                 let req = QueryRequest::top_k(k, sem);
-                let old = e.top_k(&q, k, sem);
+                let (old, _) = topk_search(
+                    e.index(),
+                    &q,
+                    &TopKOptions { k, semantics: sem, parallelism: par, ..Default::default() },
+                );
                 let new = e.run(&q, &req.with_algorithm(QueryAlgorithm::TopKJoin)).results;
                 assert_eq!(bits(&old), bits(&new), "top_k {sem:?} {par:?} k={k}");
 
-                let (old_auto, _) = e.top_k_auto(&q, k, sem);
+                let (old_auto, _) = hybrid_topk_with(e.index(), &q, k, sem, par);
                 let new_auto = e.run(&q, &req).results;
                 assert_eq!(bits(&old_auto), bits(&new_auto), "auto {sem:?} {par:?} k={k}");
 
-                let old_rdil = e.top_k_rdil(&q, k, sem);
+                let (old_rdil, _) =
+                    rdil_search(e.index(), &q, &RdilOptions { k, semantics: sem });
                 let new_rdil =
                     e.run(&q, &req.with_algorithm(QueryAlgorithm::Rdil)).results;
                 assert_eq!(bits(&old_rdil), bits(&new_rdil), "rdil {sem:?} {par:?} k={k}");
@@ -99,10 +137,10 @@ fn top_k_family_equals_run() {
 }
 
 #[test]
-fn with_stats_counters_equal_run_metrics() {
+fn run_metrics_equal_raw_counters() {
     let e = Engine::from_xml(&corpus()).unwrap();
     let q = e.query("xml search").unwrap();
-    let (_, js) = e.search_with_stats(&q, &JoinOptions::default());
+    let (_, js) = join_search(e.index(), &q, &JoinOptions::default());
     let resp = e.run(
         &q,
         &QueryRequest::complete(Semantics::Elca)
@@ -117,7 +155,7 @@ fn with_stats_counters_equal_run_metrics() {
         (js.merge_joins + js.index_joins) as u64
     );
 
-    let (_, ts) = e.top_k_with_stats(&q, &TopKOptions { k: 10, ..Default::default() });
+    let (_, ts) = topk_search(e.index(), &q, &TopKOptions { k: 10, ..Default::default() });
     let resp = e.run(
         &q,
         &QueryRequest::top_k(10, Semantics::Elca).with_algorithm(QueryAlgorithm::TopKJoin),
@@ -125,6 +163,27 @@ fn with_stats_counters_equal_run_metrics() {
     assert_eq!(resp.metrics.get("topk.rows_retrieved"), ts.rows_retrieved);
     assert_eq!(resp.metrics.get("topk.columns"), ts.columns as u64);
     assert_eq!(resp.metrics.get("topk.candidates"), ts.candidates);
+}
+
+#[test]
+fn builder_equals_combinators() {
+    let built = QueryRequest::builder()
+        .semantics(Semantics::Slca)
+        .k(7)
+        .algorithm(QueryAlgorithm::JoinBased)
+        .variant(ElcaVariant::Formal)
+        .trace(TraceLevel::Events)
+        .build();
+    let combined = QueryRequest::top_k(7, Semantics::Slca)
+        .with_algorithm(QueryAlgorithm::JoinBased)
+        .with_variant(ElcaVariant::Formal)
+        .with_trace(TraceLevel::Events);
+    assert_eq!(built, combined);
+    assert_eq!(QueryRequest::builder().build(), QueryRequest::default());
+    assert_eq!(
+        QueryRequest::builder().k(3).complete_set().build(),
+        QueryRequest::default()
+    );
 }
 
 #[test]

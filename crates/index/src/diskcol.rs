@@ -567,6 +567,50 @@ impl DiskColumn<'_> {
         Ok(out)
     }
 
+    /// Decodes only the blocks whose value range can contain one of the
+    /// **ascending** probe `values`, returning their runs in block order
+    /// — the merge-join access pattern with footer block skipping.
+    ///
+    /// A block is decoded iff some probe falls inside `[first, last]`
+    /// (directory first value, footer last value), so the result is the
+    /// exact subset of [`scan`](Self::scan) that can match any probe;
+    /// galloping over it finds the same runs the full scan would.  The
+    /// row prefix of each decoded block comes from the v2/v3 footers in
+    /// O(1); files without footers (v1) fall back to the full scan.
+    pub fn scan_matching(&self, values: &[u32]) -> io::Result<Vec<Run>> {
+        let Some(f) = &self.meta.footers else {
+            return self.scan();
+        };
+        let mut out = Vec::new();
+        let mut vi = 0usize;
+        for (b, &(_, first)) in self.meta.blocks.iter().enumerate() {
+            // Probes are ascending: ones below this block's first value
+            // can no longer match here or in any later block.
+            while values.get(vi).is_some_and(|&v| v < first) {
+                vi += 1;
+            }
+            match values.get(vi) {
+                Some(&v) => {
+                    let Some(&last) = f.lasts.get(b) else {
+                        return Err(bad("footer lasts out of range"));
+                    };
+                    if v > last {
+                        continue; // definite miss: skip the decode
+                    }
+                    let row_base = *f
+                        .row_prefix
+                        .get(b)
+                        .ok_or_else(|| bad("footer prefix out of range"))?;
+                    let runs =
+                        self.store.decode_block(self.meta, b, row_base, self.session)?;
+                    out.extend_from_slice(&runs);
+                }
+                None => break, // probes exhausted
+            }
+        }
+        Ok(out)
+    }
+
     /// Finds the run for a JDewey `value`, decoding **at most one block**
     /// — the index-join access pattern.
     ///
@@ -665,6 +709,42 @@ mod tests {
                     );
                 }
             }
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn scan_matching_skips_blocks_but_keeps_probed_runs() {
+        for format in [FormatVersion::V1, FormatVersion::V2, FormatVersion::V3] {
+            let (ix, store, path) = store_v("scanmatch", format);
+            let term = ix.term_by_str("shared").unwrap();
+            let col = &term.columns[2];
+            let dc = store.column("shared", 3).unwrap();
+            // Probe a sparse ascending subset (every 7th distinct value,
+            // plus misses between them).
+            let mut probes: Vec<u32> = col.runs.iter().step_by(7).map(|r| r.value).collect();
+            probes.extend(col.runs.iter().step_by(11).map(|r| r.value + 1));
+            probes.sort_unstable();
+            probes.dedup();
+            let sub = dc.scan_matching(&probes).unwrap();
+            let full = dc.scan().unwrap();
+            // Subset of the full scan, in order.
+            let mut fi = 0usize;
+            for r in &sub {
+                while fi < full.len() && full[fi] != *r {
+                    fi += 1;
+                }
+                assert!(fi < full.len(), "{format:?}: run {r:?} not in scan order");
+            }
+            // Every probed value that exists in the column is present.
+            for r in &col.runs {
+                if probes.binary_search(&r.value).is_ok() {
+                    assert!(sub.contains(r), "{format:?}: probed run {r:?} missing");
+                }
+            }
+            // Footer formats skip at least the blocks past the last probe
+            // when the probe set is empty.
+            assert!(dc.scan_matching(&[]).unwrap().is_empty() || format == FormatVersion::V1);
             std::fs::remove_file(path).ok();
         }
     }

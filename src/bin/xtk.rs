@@ -1,8 +1,13 @@
 //! `xtk` — a small CLI for keyword search over an XML file.
 //!
 //! ```text
-//! xtk <file.xml> <keywords…> [--top K] [--slca] [--all] [--engine join|stack|indexed|rdil]
+//! xtk <file.xml> <query…> [--top K] [--slca] [--all] [--engine join|stack|indexed|rdil]
 //! xtk <file.xml> --batch <queries.txt> [--top K] [--all] [--slca] [--stats]
+//!
+//! A query is keywords optionally followed by `knob=value` pairs from the
+//! query language (`xml search k=5 sem=slca rules=prune,push`); knobs
+//! override the command-line flags for that query.  Parse and binding
+//! errors are reported with a caret under the offending token.
 //!
 //!   --top K     return the K best results (default: top 10)
 //!   --all       return the complete ranked result set
@@ -18,7 +23,9 @@
 //!               one batch (dedup + result cache + cross-query planning);
 //!               the shared --top/--all/--slca settings apply to every
 //!               line.  Blank lines and #-comments are skipped.
-//!   --explain   print the per-level join plan instead of results
+//!   --explain   print the logical plan, the rewrite-rule log, and the
+//!               lowered physical plan (plus, in memory, the executed
+//!               per-level join plan) instead of results
 //!   --trace     print the recorded execution trace (JSON lines) after
 //!               the results — real events, not a re-simulation
 //!   --stats     print corpus statistics and the execution metrics
@@ -35,6 +42,7 @@ use std::process::exit;
 use xtk::core::batch::run_batch;
 use xtk::core::engine::Engine;
 use xtk::core::joinbased::JoinOptions;
+use xtk::core::plan::compile;
 use xtk::core::query::Semantics;
 use xtk::core::request::{Executor, QueryAlgorithm, QueryRequest};
 use xtk::core::shard::{write_sharded, ShardedEngine};
@@ -182,13 +190,14 @@ fn main() {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            match engine.query(line) {
-                Ok(q) => {
-                    items.push(BatchItem::new(q, base));
+            match compile(engine.index(), line, &base) {
+                Ok((q, req)) => {
+                    items.push(BatchItem::new(q, req));
                     lines.push(line.to_string());
                 }
                 Err(e) => {
-                    eprintln!("xtk: {line:?}: {e}");
+                    eprintln!("xtk: {}", e.render(line));
+                    cleanup();
                     exit(1);
                 }
             }
@@ -223,22 +232,7 @@ fn main() {
         return;
     }
 
-    let query = match engine.query(&keywords.join(" ")) {
-        Ok(q) => q,
-        Err(e) => {
-            eprintln!("xtk: {e}");
-            exit(1);
-        }
-    };
     let semantics = if slca { Semantics::Slca } else { Semantics::Elca };
-
-    if explain {
-        let report = engine.explain(&query, &JoinOptions { semantics, ..Default::default() });
-        print!("{report}");
-        cleanup();
-        return;
-    }
-
     let algorithm = if sharded.is_some() {
         // The scatter-gather merge is join-based; other engine names
         // cannot honor --shards.
@@ -260,14 +254,39 @@ fn main() {
             _ => usage(),
         }
     };
-    let mut req = if all {
+    let mut base = if all {
         QueryRequest::complete(semantics)
     } else {
         QueryRequest::top_k(top.unwrap_or(10), semantics)
     }
     .with_algorithm(algorithm);
     if trace {
-        req = req.with_trace(TraceLevel::Events);
+        base = base.with_trace(TraceLevel::Events);
+    }
+
+    let text = keywords.join(" ");
+    let (query, req) = match compile(engine.index(), &text, &base) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtk: {}", e.render(&text));
+            cleanup();
+            exit(1);
+        }
+    };
+
+    if explain {
+        match &sharded {
+            Some(s) => print!("{}", s.explain_plan(&query, &req)),
+            None => {
+                print!("{}", engine.explain_plan(&query, &req));
+                // The executed §III-C per-level merge/index decisions.
+                let report = engine
+                    .explain(&query, &JoinOptions { semantics: req.semantics, ..Default::default() });
+                print!("{report}");
+            }
+        }
+        cleanup();
+        return;
     }
 
     let t0 = std::time::Instant::now();
