@@ -96,6 +96,17 @@ echo "== bench smoke: block decode vs committed baseline"
 #   decode_bench --check BENCH_decode.json --update
 cargo run -q --offline --release -p xtk-bench --bin decode_bench -- --check BENCH_decode.json
 
+echo "== bench smoke: cost-based planning vs committed baseline"
+# Times the planning pipeline cold vs served from the cross-query plan
+# cache, and replays the pruning workloads with the cost gate on vs the
+# always-fire rewriter; the run itself asserts a >=5x cached planning
+# speedup, bit-identical results, and that gating never decodes more
+# cold blocks than always-fire.  The --check compares the deterministic
+# decode counters with a 20 % ratchet; planning times are recorded in
+# the trajectory but never compared.  Refresh after an intentional
+# change with:  plan_bench --check BENCH_plan.json --update
+cargo run -q --offline --release -p xtk-bench --bin plan_bench -- --check BENCH_plan.json
+
 if [ "${XTK_SKIP_CLIPPY:-0}" = "1" ]; then
     echo "== clippy skipped (XTK_SKIP_CLIPPY=1)"
 elif cargo clippy --version >/dev/null 2>&1; then

@@ -20,8 +20,12 @@
 //! reviewed (and refreshed with `--update`) rather than absorbed.
 
 use std::fmt::Write as _;
-use xtk_core::plan::{compile, explain, ExplainTarget};
+use xtk_core::plan::{annotate_executed, compile, explain, ExplainTarget};
+use xtk_core::request::{DiskEngine, Executor};
+use xtk_core::shard::{write_sharded, ShardedEngine};
 use xtk_core::{Engine, QueryRequest};
+use xtk_index::disk::{write_index, FormatVersion, WriteIndexOptions};
+use xtk_index::diskcol::DiskColumnStore;
 
 /// Small deterministic mixed-depth corpus: conference names at level 3,
 /// titles and authors at level 5, so the rewrite rules have real level
@@ -82,7 +86,7 @@ fn main() {
 
     let engine = Engine::from_xml(&corpus()).expect("corpus parses");
     let base = QueryRequest::default();
-    let mut snap = String::from("EXPLAIN snapshot v1 (explain_snapshot --check --update)\n");
+    let mut snap = String::from("EXPLAIN snapshot v2 (explain_snapshot --check --update)\n");
     for (tname, target) in targets() {
         for text in QUERIES {
             let (q, req) = compile(engine.index(), text, &base)
@@ -90,6 +94,80 @@ fn main() {
             let report = explain(engine.index(), &q, &req, target);
             let _ = write!(snap, "\n#### target={tname} query={text:?}\n{report}");
         }
+    }
+
+    // Executed-plan annotations: run each query for real with event
+    // tracing on, then render the *one* explain tree with per-node
+    // actuals (decodes, join steps, strategies) and per-store delta
+    // lines.  Every count is a logical counter — serial execution on a
+    // fresh store — so the annotated tree is byte-stable too.  The
+    // sharded section is the regression gate for the one-tree contract:
+    // shard fan-out may only add `io: shard=N` delta lines, never
+    // duplicate the tree.
+    let dir = std::env::temp_dir();
+    let store_path = dir.join(format!("xtk_explain_snap_{}.bin", std::process::id()));
+    let shard_dir = dir.join(format!("xtk_explain_snap_shards_{}", std::process::id()));
+    write_index(
+        engine.index(),
+        &store_path,
+        WriteIndexOptions { include_scores: true, format: FormatVersion::V3 },
+    )
+    .expect("write v3 index");
+    write_sharded(engine.index(), &shard_dir, 4).expect("write sharded corpus");
+    for text in ["series xml", "xml search k=3"] {
+        let (q, req) = compile(engine.index(), text, &base)
+            .unwrap_or_else(|e| panic!("{}", e.render(text)));
+        let req = req.with_trace(xtk_core::TraceLevel::Events);
+        for tname in ["memory", "disk", "sharded"] {
+            let (report, resp) = match tname {
+                "memory" => (
+                    explain(engine.index(), &q, &req, ExplainTarget::Memory),
+                    engine.run(&q, &req),
+                ),
+                "disk" => {
+                    let store = DiskColumnStore::open(&store_path).expect("open store");
+                    let disk = DiskEngine::new(engine.index(), &store);
+                    (
+                        explain(engine.index(), &q, &req, ExplainTarget::Disk),
+                        disk.execute(&q, &req).expect("disk execute"),
+                    )
+                }
+                _ => {
+                    let sharded = ShardedEngine::open(engine.index(), &shard_dir)
+                        .expect("open sharded corpus");
+                    (
+                        sharded.explain_plan(&q, &req),
+                        sharded.execute(&q, &req).expect("sharded execute"),
+                    )
+                }
+            };
+            let trace = resp.trace.expect("trace requested");
+            let annotated = annotate_executed(engine.index(), &report, &trace);
+            let _ = write!(snap, "\n#### executed target={tname} query={text:?}\n{annotated}");
+        }
+    }
+    std::fs::remove_file(&store_path).ok();
+    std::fs::remove_dir_all(&shard_dir).ok();
+
+    // Plan-cache provenance: the same request explained before and after
+    // its first execution — the report must flip from cold to cached.
+    {
+        let text = "series xml";
+        let (q, req) = compile(engine.index(), text, &base)
+            .unwrap_or_else(|e| panic!("{}", e.render(text)));
+        let provenance_line = |report: String| {
+            report
+                .lines()
+                .find(|l| l.starts_with("source: "))
+                .expect("explain_plan reports provenance")
+                .to_string()
+        };
+        let _ = write!(snap, "\n#### plan-cache provenance query={text:?}\n");
+        let before = provenance_line(engine.explain_plan(&q, &req).to_string());
+        let _ = writeln!(snap, "before first run: {before}");
+        engine.run(&q, &req);
+        let after = provenance_line(engine.explain_plan(&q, &req).to_string());
+        let _ = writeln!(snap, "after first run: {after}");
     }
 
     if let Some(golden_path) = &check {

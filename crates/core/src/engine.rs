@@ -33,6 +33,7 @@ pub struct Engine {
     ix: XmlIndex,
     parallelism: Parallelism,
     batch_cache: crate::batch::ResultCache,
+    planner: crate::plan::cache::Planner,
 }
 
 impl Engine {
@@ -53,12 +54,15 @@ impl Engine {
         Ok(Self::new(xtk_xml::parse(xml)?))
     }
 
-    /// Wraps an already-built index.
+    /// Wraps an already-built index.  The planning statistics snapshot
+    /// is harvested here, once — not per query.
     pub fn from_index(ix: XmlIndex) -> Self {
+        let planner = crate::plan::cache::Planner::from_index(&ix);
         Self {
             ix,
             parallelism: Parallelism::Serial,
             batch_cache: crate::batch::ResultCache::default(),
+            planner,
         }
     }
 
@@ -92,11 +96,35 @@ impl Engine {
     /// or cached answers from the old tree would keep being served.
     pub fn replace_index(&mut self, ix: XmlIndex) {
         self.ix = ix;
+        // The generation stamp would invalidate cached plans lazily;
+        // recomputing the statistics snapshot eagerly keeps the cost
+        // model honest for the new tree too.
+        self.planner.refresh_from_index(&self.ix);
     }
 
     /// The batched-serving result cache (see [`Engine::run_batch`]).
     pub fn result_cache(&self) -> &crate::batch::ResultCache {
         &self.batch_cache
+    }
+
+    /// The cost-based planner: the statistics snapshot plus the
+    /// cross-query plan cache every [`Engine::run`] consults.
+    pub fn planner(&self) -> &crate::plan::cache::Planner {
+        &self.planner
+    }
+
+    /// Bounds the plan cache at `capacity` plans (builder style).
+    pub fn with_plan_capacity(mut self, capacity: usize) -> Self {
+        self.planner = self.planner.with_plan_capacity(capacity);
+        self
+    }
+
+    /// Toggles cost-based rule gating (builder style; default on).
+    /// `false` restores the always-fire rewriter — the reference
+    /// configuration `plan_bench` compares decode counts against.
+    pub fn with_cost_gating(mut self, gating: bool) -> Self {
+        self.planner = self.planner.with_cost_gating(gating);
+        self
     }
 
     /// The indexed tree.
@@ -119,7 +147,15 @@ impl Engine {
     /// rewrite rules, the rule log, and the physical plan the request
     /// lowers to — byte-stable, without executing anything.
     pub fn explain_plan(&self, query: &Query, req: &crate::QueryRequest) -> crate::PlanExplain {
-        crate::plan::lower::explain(&self.ix, query, req, crate::plan::lower::ExplainTarget::Memory)
+        let mut ex = crate::plan::lower::explain(
+            &self.ix,
+            query,
+            req,
+            crate::plan::lower::ExplainTarget::Memory,
+        );
+        ex.provenance =
+            Some(self.planner.peek(query, req, self.ix.generation(), 0).as_str());
+        ex
     }
 
     /// Human-readable description of a result: path, level, score and a

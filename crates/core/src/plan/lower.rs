@@ -21,8 +21,9 @@ use crate::diskexec::{join_search_disk_spec, DiskJoinSpec};
 use crate::hybrid::{hybrid_topk_planned, PlannedEngine};
 use crate::joinbased::{join_search_obs, JoinOptions, JoinPlan};
 use crate::plan::bind;
+use crate::plan::cost::{self, CostSummary, PlanStats};
 use crate::plan::logical::{join_plan_name, LevelRange, PlanNode, ScanMode, TopKStrategy};
-use crate::plan::rewrite::{rewrite, AppliedRule, Rewrite};
+use crate::plan::rewrite::{rewrite_costed, AppliedRule, COST_MODEL};
 use crate::pool::Parallelism;
 use crate::query::{ElcaVariant, Query, Semantics};
 use crate::request::{obs_for, respond, ExecutedEngine, QueryRequest, QueryResponse, ScoreMode};
@@ -32,6 +33,7 @@ use std::fmt::Write as _;
 use std::io;
 use xtk_index::diskcol::DiskColumnStore;
 use xtk_index::XmlIndex;
+use xtk_obs::Trace;
 
 /// Which top-K execution the physical plan runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,14 +196,70 @@ pub fn lower(plan: &PlanNode, req: &QueryRequest) -> ExecSpec {
     }
 }
 
+/// Everything one costed planning pass produces: the spec plus the
+/// rewrite/gate/advice logs and per-node estimates EXPLAIN renders.
+pub(crate) struct Planned {
+    /// The execution recipe.
+    pub spec: ExecSpec,
+    /// The rewritten logical tree.
+    pub rewritten: PlanNode,
+    /// Rules that fired.
+    pub applied: Vec<AppliedRule>,
+    /// Enabled rules the cost model gated off.
+    pub gated: Vec<AppliedRule>,
+    /// Physical choices the cost model forced (index-only join).
+    pub advice: Vec<AppliedRule>,
+    /// Per-node estimates (absent without statistics).
+    pub summary: Option<CostSummary>,
+}
+
 /// Binds the logical plan for `query`, rewrites it under the request's
-/// rule set (the candidate bound comes from the in-memory columns) and
-/// lowers it.
-pub(crate) fn lower_query(ix: &XmlIndex, query: &Query, req: &QueryRequest) -> ExecSpec {
+/// rule set — costed against `stats` when a snapshot is supplied — and
+/// lowers it.  `index_advice` lets the cost model force the index-only
+/// join when the statistics prove the runtime chooser would take the
+/// index path at every level anyway (only the single-store disk executor
+/// passes true: its runtime chooser is the one the proof models).
+pub(crate) fn lower_query_costed(
+    ix: &XmlIndex,
+    query: &Query,
+    req: &QueryRequest,
+    stats: Option<&PlanStats>,
+    index_advice: bool,
+) -> Planned {
     let logical = bind::logical_plan(ix, query, req);
     let bound = bind::candidate_bound(ix, query);
-    let rw: Rewrite = rewrite(logical, req.rules, Some(bound));
-    lower(&rw.plan, req)
+    plan_costed(logical, Some(bound), req, stats, index_advice, false)
+}
+
+/// The rewrite → lower → advise core shared by [`lower_query_costed`]
+/// and [`explain`] (which inserts the scatter-gather merge first).
+/// `want_summary` gates the rendered per-node estimate lines: only
+/// EXPLAIN reads them, so the serving path skips the string building.
+fn plan_costed(
+    logical: PlanNode,
+    bound: Option<u64>,
+    req: &QueryRequest,
+    stats: Option<&PlanStats>,
+    index_advice: bool,
+    want_summary: bool,
+) -> Planned {
+    let rw = rewrite_costed(logical, req.rules, bound, stats);
+    let mut spec = lower(&rw.plan, req);
+    let mut advice = Vec::new();
+    if let Some(stats) = stats {
+        if index_advice {
+            apply_index_advice(stats, &rw.plan, &mut spec, &mut advice);
+        }
+    }
+    let summary =
+        if want_summary { stats.map(|s| cost::summarize(s, &rw.plan)) } else { None };
+    Planned { spec, rewritten: rw.plan, applied: rw.applied, gated: rw.gated, advice, summary }
+}
+
+/// Uncosted [`lower_query_costed`]: the PR 9 pipeline, kept for the
+/// stat-less callers and tests.
+pub(crate) fn lower_query(ix: &XmlIndex, query: &Query, req: &QueryRequest) -> ExecSpec {
+    lower_query_costed(ix, query, req, None, false).spec
 }
 
 /// The lowered in-memory driver for the join-family algorithms (Auto,
@@ -213,7 +271,17 @@ pub(crate) fn execute_memory(
     query: &Query,
     req: &QueryRequest,
 ) -> QueryResponse {
-    let spec = lower_query(ix, query, req);
+    execute_memory_spec(ix, parallelism, query, req, lower_query(ix, query, req))
+}
+
+/// [`execute_memory`] with a pre-lowered spec (planner/plan-cache path).
+pub(crate) fn execute_memory_spec(
+    ix: &XmlIndex,
+    parallelism: Parallelism,
+    query: &Query,
+    req: &QueryRequest,
+    spec: ExecSpec,
+) -> QueryResponse {
     let obs = obs_for(req);
     match spec.topk {
         TopKExec::Hybrid { k } => {
@@ -280,14 +348,14 @@ pub(crate) fn disk_join_spec(spec: &ExecSpec, parallelism: Parallelism) -> DiskJ
 /// and a forced star join is rejected.
 ///
 /// [`DiskEngine`]: crate::DiskEngine
-pub(crate) fn execute_disk(
+pub(crate) fn execute_disk_spec(
     ix: &XmlIndex,
     store: &DiskColumnStore,
     parallelism: Parallelism,
     query: &Query,
     req: &QueryRequest,
+    spec: ExecSpec,
 ) -> io::Result<QueryResponse> {
-    let spec = lower_query(ix, query, req);
     if let TopKExec::Star { .. } = spec.topk {
         return Err(io::Error::new(
             io::ErrorKind::Unsupported,
@@ -331,10 +399,19 @@ pub struct PlanExplain {
     pub logical: String,
     /// The rule applications, in firing order.
     pub applied: Vec<AppliedRule>,
+    /// Enabled rules the cost model gated off.
+    pub gated: Vec<AppliedRule>,
+    /// Physical choices the cost model forced (index-only join).
+    pub advice: Vec<AppliedRule>,
+    /// Per-node cost estimates of the rewritten plan.
+    pub cost: Option<CostSummary>,
     /// The tree after all enabled rules.
     pub rewritten: String,
     /// The physical plan (ExecTopK/ExecMerge/ExecJoin/ExecScan/ExecProbe).
     pub physical: String,
+    /// Where the executed plan came from (`Some("cold")` / `Some("cached")`)
+    /// when a planner reported it; `None` for a planner-less EXPLAIN.
+    pub provenance: Option<&'static str>,
 }
 
 impl std::fmt::Display for PlanExplain {
@@ -348,35 +425,200 @@ impl std::fmt::Display for PlanExplain {
         for a in &self.applied {
             writeln!(f, "{}: {}", a.rule, a.detail)?;
         }
+        if self.cost.is_some() {
+            writeln!(f, "== cost decisions ==")?;
+            if self.gated.is_empty() && self.advice.is_empty() {
+                writeln!(f, "(none)")?;
+            }
+            for g in &self.gated {
+                writeln!(f, "gated {}: {}", g.rule, g.detail)?;
+            }
+            for a in &self.advice {
+                writeln!(f, "{}: {}", a.rule, a.detail)?;
+            }
+        }
         writeln!(f, "== rewritten plan ==")?;
         f.write_str(&self.rewritten)?;
+        if let Some(cost) = &self.cost {
+            writeln!(f, "== cost estimates ==")?;
+            for line in &cost.lines {
+                writeln!(f, "{line}")?;
+            }
+        }
         writeln!(f, "== physical plan ==")?;
-        f.write_str(&self.physical)
+        f.write_str(&self.physical)?;
+        if let Some(src) = self.provenance {
+            writeln!(f, "== plan cache ==")?;
+            writeln!(f, "source: {src}")?;
+        }
+        Ok(())
     }
 }
 
-/// Builds the EXPLAIN report for a bound query against `target`.
+/// Applies the cost model's physical advice to a lowered spec: forces
+/// the index-only join when [`cost::index_only_decisive`] proves the
+/// runtime chooser would take the index path at every level anyway.
+fn apply_index_advice(
+    stats: &PlanStats,
+    rewritten: &PlanNode,
+    spec: &mut ExecSpec,
+    advice: &mut Vec<AppliedRule>,
+) {
+    if spec.block_skip
+        && spec.plan == JoinPlan::Dynamic
+        && cost::index_only_decisive(stats, rewritten)
+    {
+        spec.plan = JoinPlan::IndexOnly;
+        advice.push(AppliedRule {
+            rule: COST_MODEL,
+            detail: format!(
+                "join: plan=index-only (driver runs x {} < rows at every probed level)",
+                cost::INDEX_JOIN_ADVANTAGE
+            ),
+        });
+    }
+}
+
+/// Builds the EXPLAIN report for a bound query against `target`,
+/// costed against an in-memory statistics snapshot (so the report is a
+/// pure function of the index and the request, never of I/O state).
 pub fn explain(
     ix: &XmlIndex,
     query: &Query,
     req: &QueryRequest,
     target: ExplainTarget,
 ) -> PlanExplain {
+    let stats = PlanStats::from_index(ix);
     let mut logical = bind::logical_plan(ix, query, req);
     if let ExplainTarget::Sharded { shards, ta_prune } = target {
         logical = insert_merge(logical, shards, ta_prune);
     }
     let bound = bind::candidate_bound(ix, query);
     let logical_render = logical.render();
-    let rw = rewrite(logical, req.rules, Some(bound));
-    let spec = lower(&rw.plan, req);
-    let physical = render_physical(&spec, &rw.plan, target);
+    // Index-only forcing models the single-store disk chooser; the
+    // other targets never apply it, and neither does their EXPLAIN.
+    let planned = plan_costed(
+        logical,
+        Some(bound),
+        req,
+        Some(&stats),
+        target == ExplainTarget::Disk,
+        true,
+    );
+    let physical = render_physical(&planned.spec, &planned.rewritten, target);
     PlanExplain {
         logical: logical_render,
-        applied: rw.applied,
-        rewritten: rw.plan.render(),
+        applied: planned.applied,
+        gated: planned.gated,
+        advice: planned.advice,
+        cost: planned.summary,
+        rewritten: planned.rewritten.render(),
         physical,
+        provenance: None,
     }
+}
+
+/// Annotates a rendered physical plan with what actually happened: the
+/// executed trace's decode, match and join-step counts attached to the
+/// matching `Exec*` lines, followed by per-store I/O lines.  One tree is
+/// rendered no matter how many shards executed — per-shard differences
+/// show up only as the trailing `io:` delta lines (the trace gather
+/// rewrites store ids to shard ids).
+pub fn annotate_executed(ix: &XmlIndex, explain: &PlanExplain, trace: &Trace) -> String {
+    use xtk_obs::EventKind;
+    let mut decodes_by_store: Vec<(u32, u64)> = Vec::new();
+    let mut total_decodes = 0u64;
+    for e in trace.of_kind("store_io") {
+        if let EventKind::StoreIo { store, decodes } = e.kind {
+            total_decodes = total_decodes.saturating_add(decodes);
+            match decodes_by_store.iter_mut().find(|(s, _)| *s == store) {
+                Some((_, d)) => *d = d.saturating_add(decodes),
+                None => decodes_by_store.push((store, decodes)),
+            }
+        }
+    }
+    decodes_by_store.sort_unstable();
+    let mut matches = 0u64;
+    for e in trace.of_kind("level_end") {
+        if let EventKind::LevelEnd { matches: m, .. } = e.kind {
+            matches = matches.saturating_add(m);
+        }
+    }
+    let mut out = String::new();
+    for line in explain.physical.lines() {
+        out.push_str(line);
+        if line.trim_start().starts_with("ExecJoin:") {
+            match explain.cost.as_ref() {
+                Some(c) => {
+                    let _ = write!(
+                        out,
+                        " [actual decodes={total_decodes} matches={matches}; est blocks={}]",
+                        c.est_blocks
+                    );
+                }
+                None => {
+                    let _ = write!(out, " [actual decodes={total_decodes} matches={matches}]");
+                }
+            }
+        } else if let Some(term) = leaf_term_name(line) {
+            if let Some(id) = ix.term_id(term) {
+                let mut steps = 0u64;
+                let mut out_values = 0u64;
+                let mut strategies: Vec<&'static str> = Vec::new();
+                for e in trace.of_kind("join_step") {
+                    if let EventKind::JoinStep { term: t, output_values, strategy, .. } = e.kind {
+                        if t == id.0 {
+                            steps = steps.saturating_add(1);
+                            out_values = out_values.saturating_add(output_values);
+                            if !strategies.contains(&strategy.as_str()) {
+                                strategies.push(strategy.as_str());
+                            }
+                        }
+                    }
+                }
+                let mut driver_levels = 0u64;
+                let mut driver_runs = 0u64;
+                for e in trace.of_kind("level_start") {
+                    if let EventKind::LevelStart { driver_term, driver_runs: r, .. } = e.kind {
+                        if driver_term == id.0 {
+                            driver_levels = driver_levels.saturating_add(1);
+                            driver_runs = driver_runs.saturating_add(r);
+                        }
+                    }
+                }
+                if steps > 0 {
+                    strategies.sort_unstable();
+                    let _ = write!(
+                        out,
+                        " [actual steps={steps} out={out_values} strategy={}]",
+                        strategies.join("+")
+                    );
+                } else if driver_levels > 0 {
+                    let _ =
+                        write!(out, " [actual driver levels={driver_levels} runs={driver_runs}]");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    if decodes_by_store.len() <= 1 {
+        let _ = writeln!(out, "io: decodes={total_decodes}");
+    } else {
+        for (store, d) in &decodes_by_store {
+            let _ = writeln!(out, "io: shard={store} decodes={d}");
+        }
+    }
+    out
+}
+
+/// The `term="…"` payload of an `ExecScan`/`ExecProbe` line, if any.
+fn leaf_term_name(line: &str) -> Option<&str> {
+    let t = line.trim_start();
+    if !t.starts_with("ExecScan:") && !t.starts_with("ExecProbe:") {
+        return None;
+    }
+    let rest = t.split("term=\"").nth(1)?;
+    rest.split('"').next()
 }
 
 /// Wraps the scatter-gather merge between the top-K gather and the
@@ -577,16 +819,61 @@ mod tests {
         let a = explain(&ix, &q, &req, ExplainTarget::Memory).to_string();
         let b = explain(&ix, &q, &req, ExplainTarget::Memory).to_string();
         assert_eq!(a, b);
-        for section in
-            ["== logical plan ==", "== rewrites ==", "== rewritten plan ==", "== physical plan =="]
-        {
+        for section in [
+            "== logical plan ==",
+            "== rewrites ==",
+            "== cost decisions ==",
+            "== rewritten plan ==",
+            "== cost estimates ==",
+            "== physical plan ==",
+        ] {
             assert!(a.contains(section), "{a}");
         }
-        assert!(a.contains("ExecProbe:"), "{a}");
+        // Single-block columns: footer skipping cannot eliminate
+        // anything, so the cost model gates push-probes off.
+        assert!(a.contains("gated push-probes:"), "{a}");
+        assert!(!a.contains("ExecProbe:"), "{a}");
+        assert!(a.contains("join: est blocks="), "{a}");
         let sharded =
             explain(&ix, &q, &req, ExplainTarget::Sharded { shards: 3, ta_prune: true })
                 .to_string();
         assert!(sharded.contains("ExecMerge: shards=3 ta-prune=on"), "{sharded}");
         assert!(sharded.contains("LogicalMerge: shards=3"), "{sharded}");
+    }
+
+    #[test]
+    fn cost_gate_disables_probes_on_single_block_columns() {
+        let ix = ix();
+        let (q, req) = bound(&ix, "xml search k=2");
+        let stats = PlanStats::from_index(&ix);
+        let planned = lower_query_costed(&ix, &q, &req, Some(&stats), false);
+        assert!(!planned.spec.block_skip, "gate must strip the probe path");
+        assert_eq!(planned.spec.plan, JoinPlan::MergeOnly);
+        assert_eq!(planned.gated.len(), 1, "{:?}", planned.gated);
+        assert_eq!(planned.gated[0].rule, crate::plan::rewrite::PUSH_PROBES);
+        // The serving path skips the rendered estimates (EXPLAIN-only).
+        assert!(planned.summary.is_none());
+        // Stat-less lowering is the PR 9 pipeline: probes fire.
+        assert!(lower_query(&ix, &q, &req).block_skip);
+    }
+
+    #[test]
+    fn executed_annotations_attach_actuals_to_one_tree() {
+        let ix = ix();
+        let (q, req) = bound(&ix, "xml search");
+        let req = req.with_trace(xtk_obs::TraceLevel::Events);
+        let resp = execute_memory(&ix, Parallelism::Serial, &q, &req);
+        let trace = resp.trace.expect("trace requested");
+        let ex = explain(&ix, &q, &req, ExplainTarget::Memory);
+        let annotated = annotate_executed(&ix, &ex, &trace);
+        assert_eq!(
+            annotated.matches("ExecJoin:").count(),
+            1,
+            "one tree regardless of backend: {annotated}"
+        );
+        assert!(annotated.contains("[actual decodes="), "{annotated}");
+        assert!(annotated.contains("io: decodes="), "{annotated}");
+        let again = annotate_executed(&ix, &ex, &trace);
+        assert_eq!(annotated, again, "annotations are byte-stable");
     }
 }

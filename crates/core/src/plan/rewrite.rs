@@ -29,6 +29,7 @@
 //! results to the unrewritten one (the `plan_differential` test suite
 //! proves this per rule).  The rules only move work, never answers.
 
+use crate::plan::cost::{decide_probes, PlanStats};
 use crate::plan::logical::{PlanNode, ScanMode};
 
 /// Which rewrite rules run.  The default is all of them — the optimized
@@ -91,6 +92,9 @@ pub const PRUNE_COLUMNS: &str = "prune-columns";
 pub const PUSH_PROBES: &str = "push-probes";
 /// See [`PRUNE_COLUMNS`].
 pub const ELIMINATE_NOOPS: &str = "eliminate-noops";
+/// Rule name the cost model's own log entries use (gate records and
+/// physical plan advice), so EXPLAIN's rewrite log attributes them.
+pub const COST_MODEL: &str = "cost-model";
 
 /// One concrete rule application, for the EXPLAIN rewrite log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +112,9 @@ pub struct Rewrite {
     pub plan: PlanNode,
     /// Applications in firing order (byte-stable).
     pub applied: Vec<AppliedRule>,
+    /// Enabled rules the cost model gated off (empty without statistics
+    /// — the uncosted rewriter always fires what is enabled).
+    pub gated: Vec<AppliedRule>,
 }
 
 /// Runs the enabled rules over `plan` in the fixed prune → push → elim
@@ -115,18 +122,48 @@ pub struct Rewrite {
 /// the caller can compute one (the in-memory binder can; `None` disables
 /// the top-K elimination, never the join collapse).
 pub fn rewrite(plan: PlanNode, rules: RuleSet, candidate_bound: Option<u64>) -> Rewrite {
+    rewrite_costed(plan, rules, candidate_bound, None)
+}
+
+/// [`rewrite`] with a statistics snapshot: the probe pushdown is costed
+/// before it fires.  The driver becomes the streamed scan with the
+/// cheapest estimated join-range read (instead of the smallest whole
+/// posting list), and the rule is **gated off** — recorded in
+/// [`Rewrite::gated`] — when footer skipping predicts no block
+/// elimination at all (probing can then only match the scan's decode
+/// count, and the simpler merge pipeline wins).  Both choices are
+/// result-preserving: they pick among access paths that return the same
+/// answers.
+pub fn rewrite_costed(
+    plan: PlanNode,
+    rules: RuleSet,
+    candidate_bound: Option<u64>,
+    stats: Option<&PlanStats>,
+) -> Rewrite {
     let mut applied = Vec::new();
+    let mut gated = Vec::new();
     let mut plan = plan;
     if rules.prune_columns {
         plan = prune_columns(plan, &mut applied);
     }
     if rules.push_probes {
-        plan = push_probes(plan, &mut applied);
+        match stats.and_then(|s| decide_probes(s, &plan)) {
+            Some(d) if !d.fire => gated.push(AppliedRule {
+                rule: PUSH_PROBES,
+                detail: format!(
+                    "cost gate: footer skipping predicts no block elimination \
+                     (scan {} blocks, probes >= {})",
+                    d.scan_blocks, d.probe_blocks
+                ),
+            }),
+            Some(d) => plan = push_probes(plan, Some(d.driver), &mut applied),
+            None => plan = push_probes(plan, None, &mut applied),
+        }
     }
     if rules.eliminate_noops {
         plan = eliminate_noops(plan, candidate_bound, &mut applied);
     }
-    Rewrite { plan, applied }
+    Rewrite { plan, applied, gated }
 }
 
 fn prune_columns(node: PlanNode, applied: &mut Vec<AppliedRule>) -> PlanNode {
@@ -185,18 +222,32 @@ fn prune_columns(node: PlanNode, applied: &mut Vec<AppliedRule>) -> PlanNode {
     }
 }
 
-fn push_probes(node: PlanNode, applied: &mut Vec<AppliedRule>) -> PlanNode {
+/// `driver_override` positions the driver among the join's inputs (the
+/// binder emits one flat join, so input positions and leaf positions
+/// coincide); without one the scarcest streamed scan drives.
+fn push_probes(
+    node: PlanNode,
+    driver_override: Option<usize>,
+    applied: &mut Vec<AppliedRule>,
+) -> PlanNode {
     match node {
         PlanNode::Join { inputs, plan, levels } => {
-            // The driver (scarcest streamed scan; first on ties) stays a
-            // scan — probes need a producer of candidate values.
+            // The driver (cost-chosen, else the scarcest streamed scan;
+            // first on ties) stays a scan — probes need a producer of
+            // candidate values.
             let mut driver: Option<(usize, usize)> = None; // (index, postings)
             for (i, input) in inputs.iter().enumerate() {
                 if let PlanNode::Scan(leaf) = input {
-                    if leaf.mode == ScanMode::Stream
-                        && driver.is_none_or(|(_, p)| leaf.postings < p)
-                    {
-                        driver = Some((i, leaf.postings));
+                    if leaf.mode == ScanMode::Stream {
+                        if driver_override == Some(i) {
+                            driver = Some((i, leaf.postings));
+                            break;
+                        }
+                        if driver_override.is_none()
+                            && driver.is_none_or(|(_, p)| leaf.postings < p)
+                        {
+                            driver = Some((i, leaf.postings));
+                        }
                     }
                 }
             }
@@ -227,12 +278,12 @@ fn push_probes(node: PlanNode, applied: &mut Vec<AppliedRule>) -> PlanNode {
             PlanNode::Join { inputs, plan, levels }
         }
         PlanNode::Filter { input, semantics, variant } => PlanNode::Filter {
-            input: Box::new(push_probes(*input, applied)),
+            input: Box::new(push_probes(*input, driver_override, applied)),
             semantics,
             variant,
         },
         PlanNode::TopK { input, k, strategy, threshold, scores, bound } => PlanNode::TopK {
-            input: Box::new(push_probes(*input, applied)),
+            input: Box::new(push_probes(*input, driver_override, applied)),
             k,
             strategy,
             threshold,
@@ -240,7 +291,7 @@ fn push_probes(node: PlanNode, applied: &mut Vec<AppliedRule>) -> PlanNode {
             bound,
         },
         PlanNode::Merge { input, shards, ta_prune } => PlanNode::Merge {
-            input: Box::new(push_probes(*input, applied)),
+            input: Box::new(push_probes(*input, driver_override, applied)),
             shards,
             ta_prune,
         },

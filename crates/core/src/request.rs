@@ -319,19 +319,29 @@ pub(crate) fn respond(
 }
 
 /// Executes a request against the in-memory index.  Shared by
-/// [`Engine::run`] and the [`Executor`] impl for [`Engine`].
+/// [`Engine::run`] and the [`Executor`] impl for [`Engine`].  A planner,
+/// when supplied, serves the execution spec from its cross-query plan
+/// cache (or plans cold, costed, and caches); without one every request
+/// re-plans from scratch.
 fn run_in_memory(
     ix: &XmlIndex,
     parallelism: Parallelism,
     query: &Query,
     req: &QueryRequest,
+    planner: Option<&crate::plan::cache::Planner>,
 ) -> QueryResponse {
     // The join family (Auto, JoinBased, TopKJoin) executes through the
     // logical plan: bind → rewrite → lower → run.  The baselines below
     // sit outside the plan IR and keep their procedural dispatch.
     match req.algorithm {
         QueryAlgorithm::Auto | QueryAlgorithm::JoinBased | QueryAlgorithm::TopKJoin => {
-            return crate::plan::lower::execute_memory(ix, parallelism, query, req);
+            return match planner {
+                Some(p) => {
+                    let (spec, _) = p.spec_for(ix, query, req, ix.generation(), 0);
+                    crate::plan::lower::execute_memory_spec(ix, parallelism, query, req, spec)
+                }
+                None => crate::plan::lower::execute_memory(ix, parallelism, query, req),
+            };
         }
         QueryAlgorithm::StackBased | QueryAlgorithm::IndexBased | QueryAlgorithm::Rdil => {}
     }
@@ -397,7 +407,7 @@ impl Engine {
     /// assert!(resp.metrics.get("query.results") == 1);
     /// ```
     pub fn run(&self, query: &Query, req: &QueryRequest) -> QueryResponse {
-        run_in_memory(self.index(), self.parallelism(), query, req)
+        run_in_memory(self.index(), self.parallelism(), query, req, Some(self.planner()))
     }
 }
 
@@ -489,12 +499,16 @@ pub struct DiskEngine<'a> {
     ix: &'a XmlIndex,
     store: &'a DiskColumnStore,
     parallelism: Parallelism,
+    planner: crate::plan::cache::Planner,
 }
 
 impl<'a> DiskEngine<'a> {
     /// Wraps an index (tree + directory + scores) and its on-disk lists.
+    /// Harvests the exact directory statistics snapshot here, once —
+    /// per-term block counts and footer value spans, no block decodes.
     pub fn new(ix: &'a XmlIndex, store: &'a DiskColumnStore) -> Self {
-        Self { ix, store, parallelism: Parallelism::Serial }
+        let planner = crate::plan::cache::Planner::from_store(ix, store);
+        Self { ix, store, parallelism: Parallelism::Serial, planner }
     }
 
     /// Sets the query-execution parallelism (builder style).
@@ -502,18 +516,33 @@ impl<'a> DiskEngine<'a> {
         self.parallelism = parallelism;
         self
     }
+
+    /// Toggles cost-based rule gating and index-only advice (builder
+    /// style; default on).
+    pub fn with_cost_gating(mut self, gating: bool) -> Self {
+        self.planner = self.planner.with_cost_gating(gating);
+        self
+    }
+
+    /// The cost-based planner this engine serves specs from.
+    pub fn planner(&self) -> &crate::plan::cache::Planner {
+        &self.planner
+    }
 }
 
 impl Executor for DiskEngine<'_> {
     fn execute(&self, query: &Query, req: &QueryRequest) -> io::Result<QueryResponse> {
         match req.algorithm {
             QueryAlgorithm::Auto | QueryAlgorithm::JoinBased => {
-                crate::plan::lower::execute_disk(
+                let (spec, _) =
+                    self.planner.spec_for(self.ix, query, req, self.ix.generation(), 0);
+                crate::plan::lower::execute_disk_spec(
                     self.ix,
                     self.store,
                     self.parallelism,
                     query,
                     req,
+                    spec,
                 )
             }
             _ => Err(io::Error::new(

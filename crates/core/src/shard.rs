@@ -324,6 +324,11 @@ pub struct ShardedEngine<'a> {
     parallelism: Parallelism,
     prune: bool,
     salt: u64,
+    /// Plans against the *global* index statistics (shard-invariant, so
+    /// the cached spec — keyed by the topology salt — stays
+    /// bit-identical across shard layouts); index-only advice is off
+    /// because per-shard row counts differ from the global snapshot.
+    planner: crate::plan::cache::Planner,
 }
 
 impl std::fmt::Debug for ShardedEngine<'_> {
@@ -388,7 +393,19 @@ impl<'a> ShardedEngine<'a> {
             shards.push(Shard { ix: six, store, offset, docs: part.clone() });
         }
         let salt = fnv64(&salt_words);
-        Ok(Self { ix, shards, parallelism: Parallelism::Serial, prune: true, salt })
+        let planner = crate::plan::cache::Planner::from_index(ix);
+        Ok(Self { ix, shards, parallelism: Parallelism::Serial, prune: true, salt, planner })
+    }
+
+    /// Toggles cost-based rule gating (builder style; default on).
+    pub fn with_cost_gating(mut self, gating: bool) -> Self {
+        self.planner = self.planner.with_cost_gating(gating);
+        self
+    }
+
+    /// The cost-based planner this engine serves specs from.
+    pub fn planner(&self) -> &crate::plan::cache::Planner {
+        &self.planner
     }
 
     /// Sets the scatter fan-out across shards (builder style).  Inside a
@@ -415,8 +432,10 @@ impl<'a> ShardedEngine<'a> {
     /// Logical-plan EXPLAIN for this topology: the bound plan (with the
     /// scatter-gather `Merge` stage), the rewrite log, and the physical
     /// plan each shard lowers to — byte-stable, without executing.
+    /// Reports whether the next execution would plan cold or serve the
+    /// spec from this topology's plan cache.
     pub fn explain_plan(&self, query: &Query, req: &QueryRequest) -> crate::PlanExplain {
-        crate::plan::lower::explain(
+        let mut ex = crate::plan::lower::explain(
             self.ix,
             query,
             req,
@@ -424,7 +443,10 @@ impl<'a> ShardedEngine<'a> {
                 shards: self.shards.len(),
                 ta_prune: self.prune,
             },
-        )
+        );
+        ex.provenance =
+            Some(self.planner.peek(query, req, self.ix.generation(), self.salt).as_str());
+        ex
     }
 
     /// The document range (root-child indices) of shard `id`.
@@ -523,11 +545,13 @@ impl Executor for ShardedEngine<'_> {
             tracer: Tracer::for_level(req.trace),
         };
 
-        // Lower the logical plan once against the global index; every
-        // shard executes the same physical spec (the rewrite rules see
-        // the global run statistics, so the spec — and the merged
-        // response — is shard-topology-invariant).
-        let lowered = crate::plan::lower::lower_query(self.ix, query, req);
+        // Plan once against the global index — served from the plan
+        // cache when this (query, request, generation, topology salt)
+        // was planned before; every shard executes the same physical
+        // spec (the cost model sees the global run statistics, so the
+        // spec — and the merged response — is shard-topology-invariant).
+        let (lowered, _) =
+            self.planner.spec_for(self.ix, query, req, self.ix.generation(), self.salt);
         let spec = DiskJoinSpec {
             join: JoinOptions {
                 semantics: lowered.semantics,

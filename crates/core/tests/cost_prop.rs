@@ -1,0 +1,105 @@
+//! Property tests for the plan cost model (PR 10): the estimator must be
+//! **monotone** — growing a term (more rows, more runs, more blocks)
+//! never lowers any estimated cost.  The planner relies on this: a
+//! growing column can only make probing *more* attractive relative to
+//! scanning it, so a sign or overflow bug in the integer arithmetic
+//! would silently flip access-path decisions.  Randomized level shapes,
+//! spans and growth deltas are generated with the in-tree `prop_check`
+//! harness (seeded, shrinking, no external dependencies).
+
+use xtk_core::plan::{probe_cost, scan_cost, LevelStats};
+use xtk_xml::testutil::{prop_check, Gen};
+
+/// A random per-level stats vector: up to `size` levels of plausible
+/// (rows ≥ runs, blocks from runs, optional span) shapes.
+fn levels(g: &mut Gen) -> Vec<LevelStats> {
+    let n = g.gen_range(1..g.size().max(2));
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let runs = g.gen_range(0..100_000u64);
+        let rows = runs + g.gen_range(0..100_000u64);
+        let span = if g.gen_bool(0.8) {
+            let lo = g.gen_range(0..1_000_000u32);
+            let hi = lo + g.gen_range(0..1_000_000u32);
+            Some((lo, hi))
+        } else {
+            None
+        };
+        out.push(LevelStats::estimated(rows, runs, span));
+    }
+    out
+}
+
+/// Grows one random level of `term` by random row/run/block deltas,
+/// never shrinking anything and never moving the span.
+fn grow(g: &mut Gen, term: &[LevelStats]) -> Vec<LevelStats> {
+    let mut grown = term.to_vec();
+    let i = g.gen_range(0..grown.len());
+    if let Some(l) = grown.get_mut(i) {
+        let extra_rows = g.gen_range(1..1_000_000u64);
+        let extra_runs = g.gen_range(0..extra_rows + 1);
+        l.rows = l.rows.saturating_add(extra_rows);
+        l.runs = l.runs.saturating_add(extra_runs);
+        l.blocks = l.blocks.saturating_add(g.gen_range(0..64u64));
+    }
+    grown
+}
+
+#[test]
+fn scan_cost_is_monotone_in_term_growth() {
+    prop_check(0xC057_0001, 300, |g| {
+        let term = levels(g);
+        let grown = grow(g, &term);
+        let before = scan_cost(&term);
+        let after = scan_cost(&grown);
+        assert!(
+            after.blocks >= before.blocks && after.rows >= before.rows,
+            "scan cost shrank: {before:?} -> {after:?}"
+        );
+        assert!(after.weight() >= before.weight());
+    });
+}
+
+#[test]
+fn probe_cost_is_monotone_in_probed_term_growth() {
+    prop_check(0xC057_0002, 300, |g| {
+        let driver = levels(g);
+        let term = levels(g);
+        let grown = grow(g, &term);
+        let before = probe_cost(&driver, &term);
+        let after = probe_cost(&driver, &grown);
+        assert!(
+            after.blocks >= before.blocks && after.rows >= before.rows,
+            "probe cost shrank when the probed term grew: {before:?} -> {after:?}"
+        );
+        assert!(after.weight() >= before.weight());
+    });
+}
+
+#[test]
+fn probe_cost_never_exceeds_scan_cost_per_level_count() {
+    // The planner's gate is sound only if probing is never estimated
+    // cheaper than it can be and never *blockier* than scanning.
+    prop_check(0xC057_0003, 300, |g| {
+        let driver = levels(g);
+        let term = levels(g);
+        let p = probe_cost(&driver, &term);
+        let s = scan_cost(&term);
+        assert!(p.blocks <= s.blocks, "probe {p:?} vs scan {s:?}");
+        assert!(p.rows <= s.rows, "probe {p:?} vs scan {s:?}");
+    });
+}
+
+#[test]
+fn estimated_stats_are_monotone_in_rows_and_runs() {
+    // LevelStats::estimated itself: more runs never means fewer blocks.
+    prop_check(0xC057_0004, 200, |g| {
+        let runs = g.gen_range(0..1_000_000u64);
+        let rows = runs + g.gen_range(0..1_000u64);
+        let extra = g.gen_range(0..1_000_000u64);
+        let a = LevelStats::estimated(rows, runs, None);
+        let b = LevelStats::estimated(rows + extra, runs + extra, None);
+        assert!(b.blocks >= a.blocks);
+        assert!(b.rows >= a.rows);
+    });
+}

@@ -552,6 +552,16 @@ impl DiskColumn<'_> {
         self.meta.present_rows.len()
     }
 
+    /// The `[first, last]` JDewey value range this column covers, read
+    /// from the directory first values and the v2/v3 footer last values
+    /// without decoding anything.  `None` for empty columns and for v1
+    /// files (no footers), where the span would require a decode.
+    pub fn value_span(&self) -> Option<(u32, u32)> {
+        let &(_, first) = self.meta.blocks.first()?;
+        let &last = self.meta.footers.as_ref()?.lasts.last()?;
+        Some((first, last))
+    }
+
     /// Decodes the whole column in block order (the merge-join access
     /// pattern).  Corrupt blocks surface as `InvalidData` errors.
     pub fn scan(&self) -> io::Result<Vec<Run>> {

@@ -29,15 +29,20 @@ pub const HOT_MODULES: &[&str] = &[
 
 /// The subset of [`HOT_MODULES`] where L8 (allocation-in-loop) applies:
 /// the Algorithm-1 join, the disk executor, the top-K star join, the
-/// shard scatter/merge, and the four block-decode modules — since the
+/// shard scatter/merge, the four block-decode modules — since the
 /// arena rework, the cold decode path must allocate only through the
-/// reused [`DecodeScratch`](../../index/src/codec.rs) buffers, so any
-/// fresh allocation inside a loop here needs a written reason.
+/// reused [`DecodeScratch`](../../index/src/codec.rs) buffers — and the
+/// planner's cost/cache pair, which sits on the per-request serving
+/// path: a plan-cache hit must stay allocation-free and the cost model
+/// walks every term's level stats per plan, so any fresh allocation
+/// inside a loop here needs a written reason.
 pub const L8_MODULES: &[&str] = &[
     "crates/core/src/joinbased.rs",
     "crates/core/src/diskexec.rs",
     "crates/core/src/topk.rs",
     "crates/core/src/shard.rs",
+    "crates/core/src/plan/cost.rs",
+    "crates/core/src/plan/cache.rs",
     "crates/index/src/cache.rs",
     "crates/index/src/codec.rs",
     "crates/index/src/disk.rs",

@@ -42,7 +42,7 @@ use std::process::exit;
 use xtk::core::batch::run_batch;
 use xtk::core::engine::Engine;
 use xtk::core::joinbased::JoinOptions;
-use xtk::core::plan::compile;
+use xtk::core::plan::{annotate_executed, compile};
 use xtk::core::query::Semantics;
 use xtk::core::request::{Executor, QueryAlgorithm, QueryRequest};
 use xtk::core::shard::{write_sharded, ShardedEngine};
@@ -275,15 +275,35 @@ fn main() {
     };
 
     if explain {
-        match &sharded {
-            Some(s) => print!("{}", s.explain_plan(&query, &req)),
-            None => {
-                print!("{}", engine.explain_plan(&query, &req));
-                // The executed §III-C per-level merge/index decisions.
-                let report = engine
-                    .explain(&query, &JoinOptions { semantics: req.semantics, ..Default::default() });
-                print!("{report}");
+        let report = match &sharded {
+            Some(s) => s.explain_plan(&query, &req),
+            None => engine.explain_plan(&query, &req),
+        };
+        print!("{report}");
+        if trace {
+            // --explain --trace: execute for real and re-render the one
+            // plan tree with per-node actuals (decodes, join steps,
+            // strategies) and per-store io deltas from the live trace.
+            let resp = match &sharded {
+                Some(s) => match s.execute(&query, &req) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("xtk: sharded query failed: {e}");
+                        cleanup();
+                        exit(1);
+                    }
+                },
+                None => engine.run(&query, &req),
+            };
+            if let Some(tr) = &resp.trace {
+                println!("\n== executed plan ==");
+                print!("{}", annotate_executed(engine.index(), &report, tr));
             }
+        } else if sharded.is_none() {
+            // The executed §III-C per-level merge/index decisions.
+            let report = engine
+                .explain(&query, &JoinOptions { semantics: req.semantics, ..Default::default() });
+            print!("{report}");
         }
         cleanup();
         return;
